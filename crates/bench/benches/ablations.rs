@@ -1,0 +1,66 @@
+//! Ablation and extension experiments as benches: EQUI vs FIFO, victim
+//! strategy, chunk grain, bursty arrivals, l_k norms and backlog dynamics.
+//! Prints each reproduced table once, then measures the dominant runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::{backlog, burst, equi_ablation, grain, norms, victim_ablation};
+use parflow_core::{simulate_equi, simulate_worksteal, SimConfig, StealPolicy};
+use parflow_workloads::{lower_bound_instance, DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n== EQUI vs FIFO ==");
+    println!(
+        "{}",
+        equi_ablation::table(&equi_ablation::run(&[800.0, 1000.0, 1200.0], 4_000, 7)).render()
+    );
+    println!("== victim strategy vs Lemma 5.1 ==");
+    println!(
+        "{}",
+        victim_ablation::table(&victim_ablation::run(&[20, 40, 60], 30_000, 7)).render()
+    );
+    println!("== chunk grain ==");
+    println!(
+        "{}",
+        grain::table(&grain::run(&grain::default_grains(), 1100.0, 4_000, 7)).render()
+    );
+    println!("== bursty arrivals ==");
+    println!(
+        "{}",
+        burst::table(&burst::run(&burst::default_bursts(), 4_000, 7)).render()
+    );
+    println!("== l_k norms / stretch ==");
+    println!("{}", norms::table(&norms::run(4_000, 7)).render());
+    println!("== backlog dynamics ==");
+    println!("{}", backlog::table(&backlog::run(1200.0, 4_000, 7)).render());
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 4_000, 7).generate();
+    g.bench_function("equi_4k_jobs", |b| {
+        let cfg = SimConfig::new(16);
+        b.iter(|| simulate_equi(black_box(&inst), &cfg).max_flow())
+    });
+    let lb = lower_bound_instance(2_000, 40);
+    for (name, cfg) in [
+        ("lb_uniform_unit", SimConfig::new(40)),
+        ("lb_scan_unit", SimConfig::new(40).with_victim_scan()),
+        ("lb_uniform_free", SimConfig::new(40).with_free_steals()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("victim", name), &lb, |b, lb| {
+            b.iter(|| simulate_worksteal(black_box(lb), &cfg, StealPolicy::AdmitFirst, 3).max_flow())
+        });
+    }
+    g.bench_function("sampled_backlog_run", |b| {
+        let cfg = SimConfig::new(16).with_free_steals().with_sampling(64);
+        b.iter(|| {
+            simulate_worksteal(black_box(&inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 7)
+                .samples
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the simulation substrates: engine round throughput,
+//! DAG construction/unfolding, OPT computation, trace validation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parflow_core::{
+    opt_max_flow, run_priority, simulate_fifo, simulate_worksteal, Fifo, SimConfig, StealPolicy,
+};
+use parflow_dag::{shapes, DagCursor, Instance, Job, UnitOutcome};
+use parflow_workloads::{DistKind, WorkloadSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 2_000, 3).generate();
+    let work = inst.total_work();
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(work));
+    g.bench_function("fifo_units_per_sec", |b| {
+        let cfg = SimConfig::new(16);
+        b.iter(|| simulate_fifo(black_box(&inst), &cfg).max_flow())
+    });
+    g.bench_function("worksteal_unit_cost_units_per_sec", |b| {
+        let cfg = SimConfig::new(16);
+        b.iter(|| {
+            simulate_worksteal(black_box(&inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 1)
+                .max_flow()
+        })
+    });
+    g.bench_function("worksteal_free_units_per_sec", |b| {
+        let cfg = SimConfig::new(16).with_free_steals();
+        b.iter(|| {
+            simulate_worksteal(black_box(&inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 1)
+                .max_flow()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("opt_2k_jobs", |b| {
+        b.iter(|| opt_max_flow(black_box(&inst), 16))
+    });
+    g.bench_function("dag_fork_join_depth10", |b| {
+        b.iter(|| shapes::fork_join(black_box(10), 4).total_work())
+    });
+    g.bench_function("dag_parallel_for_1k_chunks", |b| {
+        b.iter(|| shapes::parallel_for(black_box(10_000), 1_000).span())
+    });
+    g.bench_function("cursor_full_unfold", |b| {
+        let dag = shapes::fork_join(10, 4);
+        b.iter(|| {
+            let mut cur = DagCursor::new(&dag);
+            while !cur.is_complete() {
+                let v = cur.ready_nodes()[0];
+                cur.claim(v).unwrap();
+                while let UnitOutcome::InProgress = cur.execute_unit(&dag, v).unwrap() {}
+            }
+            cur.executed_units()
+        })
+    });
+    g.bench_function("trace_validate_small", |b| {
+        let dag = Arc::new(shapes::diamond(4, 2));
+        let jobs: Vec<Job> = (0..50).map(|i| Job::new(i, i as u64 * 3, dag.clone())).collect();
+        let small = Instance::new(jobs);
+        let (_, trace) = run_priority(&small, &SimConfig::new(4).with_trace(), &Fifo);
+        let trace = trace.unwrap();
+        b.iter(|| trace.validate(black_box(&small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

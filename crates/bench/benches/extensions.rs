@@ -1,0 +1,54 @@
+//! Extension experiments as benches: machine scaling, seed variance,
+//! steal-amount, and the distributed-BWF comparison. Prints each table
+//! once, then measures the dominant simulation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::{scaling, steal_amount, variance, weighted_ws};
+use parflow_core::{simulate_bwf, simulate_worksteal, SimConfig, StealPolicy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n== machine scaling ==");
+    println!("{}", scaling::table(&scaling::run(&[4, 16, 64], 4_000, 7)).render());
+    println!("== seed variance ==");
+    println!("{}", variance::table(&variance::run(1100.0, 4_000, 6, 7)).render());
+    println!("== steal amount ==");
+    println!("{}", steal_amount::table(&steal_amount::run(&[800.0], 4_000, 7)).render());
+    println!("== distributed BWF ==");
+    println!("{}", weighted_ws::table(&weighted_ws::run(&[1000.0], 4_000, 7)).render());
+
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    let inst = weighted_ws::weighted_instance(1000.0, 4_000, 7);
+    g.bench_function("bwf_weighted_4k", |b| {
+        let cfg = SimConfig::new(16);
+        b.iter(|| simulate_bwf(black_box(&inst), &cfg).max_weighted_flow())
+    });
+    for (name, cfg) in [
+        ("fifo_admission", SimConfig::new(16).with_free_steals()),
+        (
+            "weighted_admission",
+            SimConfig::new(16).with_free_steals().with_weighted_admission(),
+        ),
+        (
+            "half_steals",
+            SimConfig::new(16).with_free_steals().with_half_steals(),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("ws", name), &inst, |b, inst| {
+            b.iter(|| {
+                simulate_worksteal(
+                    black_box(inst),
+                    &cfg,
+                    StealPolicy::StealKFirst { k: 16 },
+                    7,
+                )
+                .max_weighted_flow()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

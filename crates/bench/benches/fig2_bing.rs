@@ -1,0 +1,51 @@
+//! Figure 2(a): Bing workload — benchmarks the three schedulers at each
+//! QPS level and prints the reproduced table once.
+//!
+//! The Criterion measurements quantify simulator cost per point; the
+//! printed rows are the paper reproduction (also available via
+//! `cargo run -p parflow-bench --bin repro -- fig2-bing`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::fig2;
+use parflow_core::{opt_max_flow, simulate_worksteal, SimConfig, StealPolicy};
+use parflow_workloads::{DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+const N_JOBS: usize = 4_000;
+const M: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced figure once, at bench scale.
+    let pts = fig2::run_sized(DistKind::Bing, 7, N_JOBS, M);
+    println!("\n{}\n", fig2::table(DistKind::Bing, &pts).render());
+
+    let mut g = c.benchmark_group("fig2_bing");
+    g.sample_size(10);
+    for qps in fig2::paper_qps(DistKind::Bing) {
+        let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, N_JOBS, 7).generate();
+        let cfg = SimConfig::new(M).with_free_steals();
+        g.bench_with_input(BenchmarkId::new("steal16", qps as u64), &inst, |b, inst| {
+            b.iter(|| {
+                simulate_worksteal(
+                    black_box(inst),
+                    &cfg,
+                    StealPolicy::StealKFirst { k: 16 },
+                    42,
+                )
+                .max_flow()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("admit", qps as u64), &inst, |b, inst| {
+            b.iter(|| {
+                simulate_worksteal(black_box(inst), &cfg, StealPolicy::AdmitFirst, 42).max_flow()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("opt", qps as u64), &inst, |b, inst| {
+            b.iter(|| opt_max_flow(black_box(inst), M))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 2(b): finance workload — scheduler cost per QPS level, plus the
+//! reproduced table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::fig2;
+use parflow_core::{simulate_worksteal, SimConfig, StealPolicy};
+use parflow_workloads::{DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+const N_JOBS: usize = 4_000;
+const M: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let pts = fig2::run_sized(DistKind::Finance, 7, N_JOBS, M);
+    println!("\n{}\n", fig2::table(DistKind::Finance, &pts).render());
+
+    let mut g = c.benchmark_group("fig2_finance");
+    g.sample_size(10);
+    for qps in fig2::paper_qps(DistKind::Finance) {
+        let inst = WorkloadSpec::paper_fig2(DistKind::Finance, qps, N_JOBS, 7).generate();
+        let cfg = SimConfig::new(M).with_free_steals();
+        for (name, policy) in [
+            ("steal16", StealPolicy::StealKFirst { k: 16 }),
+            ("admit", StealPolicy::AdmitFirst),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, qps as u64), &inst, |b, inst| {
+                b.iter(|| simulate_worksteal(black_box(inst), &cfg, policy, 42).max_flow())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

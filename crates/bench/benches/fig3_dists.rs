@@ -1,0 +1,52 @@
+//! Figure 3: work-distribution sampling cost (Bing, finance, log-normal),
+//! plus the reproduced histograms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parflow_bench::experiments::fig3;
+use parflow_workloads::{bing, finance, LogNormalDist, WorkDistribution};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}\n", fig3::render(100_000, 7));
+
+    let mut g = c.benchmark_group("fig3_sampling");
+    let bing_d = bing();
+    let fin_d = finance();
+    let ln_d = LogNormalDist::paper();
+    g.bench_function("bing_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(bing_d.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("finance_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(fin_d.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("lognormal_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(ln_d.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 1: interval-decomposition analysis cost, plus a printed example
+//! decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parflow_bench::experiments::intervals;
+use parflow_core::{analyze_intervals, simulate_worksteal, SimConfig, StealPolicy};
+use parflow_time::Rational;
+use parflow_workloads::{qps_for_utilization, DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    if let Some(a) = intervals::run(4_000, 7, (1, 10)) {
+        println!(
+            "\nmax-flow job J_{}: F_i = {:.1}, beta = {}\n{}\n",
+            a.job,
+            a.flow.to_f64(),
+            a.beta(),
+            intervals::table(&a).render()
+        );
+    }
+
+    let qps = qps_for_utilization(DistKind::Bing, 16, 0.9);
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, 4_000, 7).generate();
+    let cfg = SimConfig::new(16).with_free_steals();
+    let result = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, 7);
+
+    let mut g = c.benchmark_group("intervals");
+    g.bench_function("analyze_4k_jobs", |b| {
+        b.iter(|| analyze_intervals(black_box(&result), Rational::new(1, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

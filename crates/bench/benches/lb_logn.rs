@@ -1,0 +1,33 @@
+//! Lemma 5.1: the Ω(log n) lower-bound construction — simulation cost per
+//! machine size, plus the reproduced separation table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::lower_bound;
+use parflow_core::{simulate_fifo, simulate_worksteal, SimConfig, StealPolicy};
+use parflow_workloads::lower_bound_instance;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pts = lower_bound::run(&[20, 40, 60], 50_000, 7);
+    println!("\n{}\n", lower_bound::table(&pts).render());
+
+    let mut g = c.benchmark_group("lb_logn");
+    g.sample_size(10);
+    for m in [20usize, 40] {
+        let n = lower_bound::jobs_for_m(m, 5_000);
+        let inst = lower_bound_instance(n, m);
+        let cfg = SimConfig::new(m);
+        g.bench_with_input(BenchmarkId::new("worksteal", m), &inst, |b, inst| {
+            b.iter(|| {
+                simulate_worksteal(black_box(inst), &cfg, StealPolicy::AdmitFirst, 13).max_flow()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fifo", m), &inst, |b, inst| {
+            b.iter(|| simulate_fifo(black_box(inst), &cfg).max_flow())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

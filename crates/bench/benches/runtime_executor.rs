@@ -1,0 +1,36 @@
+//! The real crossbeam work-stealing executor: end-to-end latency of small
+//! bursts under both admission policies. Kept deliberately small — results
+//! depend on host core count (CI containers are often single-core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_runtime::{run_workload, JobSpec, RtPolicy, RuntimeConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let workload: Vec<(Duration, JobSpec)> = (0..16)
+        .map(|_| (Duration::ZERO, JobSpec::split(40_000, 4)))
+        .collect();
+
+    let mut g = c.benchmark_group("runtime_executor");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("admit_first", RtPolicy::AdmitFirst),
+        ("steal_16_first", RtPolicy::StealKFirst { k: 16 }),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(name, workers),
+            &workload,
+            |b, workload| {
+                let cfg = RuntimeConfig::new(workers, policy);
+                b.iter(|| run_workload(&cfg, workload).max_flow())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

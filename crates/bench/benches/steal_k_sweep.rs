@@ -1,0 +1,32 @@
+//! Ablation: the steal-k-first parameter sweep — cost per k, plus the
+//! reproduced k-vs-load table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::steal_k;
+use parflow_core::{simulate_worksteal, SimConfig, StealPolicy};
+use parflow_workloads::{DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pts = steal_k::run_sized(&steal_k::default_ks(), &[800.0, 1000.0, 1200.0], 7, 4_000);
+    println!("\n{}\n", steal_k::table(&pts).render());
+
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1200.0, 4_000, 7).generate();
+    let cfg = SimConfig::new(16).with_free_steals();
+    let mut g = c.benchmark_group("steal_k_sweep");
+    g.sample_size(10);
+    for k in steal_k::default_ks() {
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        g.bench_with_input(BenchmarkId::new("k", k), &inst, |b, inst| {
+            b.iter(|| simulate_worksteal(black_box(inst), &cfg, policy, 11).max_flow())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Theorem 7.1: BWF under speed augmentation on weighted instances — cost
+//! per ε, plus the reproduced weighted-ratio table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::theory_bwf;
+use parflow_core::{simulate_bwf, simulate_fifo, SimConfig};
+use parflow_time::Speed;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pts = theory_bwf::run(4_000, 1_000, 7);
+    println!("\n{}\n", theory_bwf::table(&pts).render());
+
+    let inst = theory_bwf::weighted_instance(4_000, 1_000, 7);
+    let mut g = c.benchmark_group("theory_bwf");
+    g.sample_size(10);
+    for (en, ed) in theory_bwf::EPSILONS {
+        let cfg = SimConfig::new(16).with_speed(Speed::augmented(en, ed));
+        g.bench_with_input(
+            BenchmarkId::new("bwf", format!("eps_{en}_{ed}")),
+            &inst,
+            |b, inst| b.iter(|| simulate_bwf(black_box(inst), &cfg).max_weighted_flow()),
+        );
+    }
+    let cfg1 = SimConfig::new(16).with_speed(Speed::augmented(1, 2));
+    g.bench_function("fifo_baseline_eps_1_2", |b| {
+        b.iter(|| simulate_fifo(black_box(&inst), &cfg1).max_weighted_flow())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

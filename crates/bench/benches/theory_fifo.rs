@@ -1,0 +1,31 @@
+//! Theorem 3.1: FIFO under speed augmentation — cost per ε, plus the
+//! reproduced ratio table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::theory_fifo;
+use parflow_core::{simulate_fifo, SimConfig};
+use parflow_time::Speed;
+use parflow_workloads::{qps_for_utilization, DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pts = theory_fifo::run(4_000, 7);
+    println!("\n{}\n", theory_fifo::table(&pts).render());
+
+    let qps = qps_for_utilization(DistKind::Bing, 16, 0.95);
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, 4_000, 7).generate();
+    let mut g = c.benchmark_group("theory_fifo");
+    g.sample_size(10);
+    for (en, ed) in theory_fifo::EPSILONS {
+        let cfg = SimConfig::new(16).with_speed(Speed::augmented(en, ed));
+        g.bench_with_input(
+            BenchmarkId::new("fifo", format!("eps_{en}_{ed}")),
+            &inst,
+            |b, inst| b.iter(|| simulate_fifo(black_box(inst), &cfg).max_flow()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Theorem 4.1: steal-k-first at `(k+1+ε)` speed — cost per (k, n), plus
+//! the reproduced normalized-flow table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parflow_bench::experiments::theory_ws;
+use parflow_core::{simulate_worksteal, SimConfig, StealPolicy};
+use parflow_time::Speed;
+use parflow_workloads::{qps_for_utilization, DistKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pts = theory_ws::run(&[0, 2, 16], &[1_000, 4_000], 7);
+    println!("\n{}\n", theory_ws::table(&pts).render());
+
+    let mut g = c.benchmark_group("theory_ws");
+    g.sample_size(10);
+    let qps = qps_for_utilization(DistKind::Bing, 16, 0.9);
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, 4_000, 7).generate();
+    for k in [0u32, 2, 16] {
+        let speed = Speed::new(2 * (k as u64) + 3, 2);
+        let cfg = SimConfig::new(16).with_speed(speed);
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        g.bench_with_input(BenchmarkId::new("steal_k", k), &inst, |b, inst| {
+            b.iter(|| simulate_worksteal(black_box(inst), &cfg, policy, 5).max_flow())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Lower bounds on the optimal maximum (weighted) flow time.
+//!
+//! The true optimum is intractable to compute, so — exactly like the paper's
+//! Section 6 — we bound it from below by relaxing the problem: assume every
+//! job is *fully parallelizable* (speedup `m` on `m` processors) and there is
+//! no preemption overhead. Each job then behaves like a sequential job of
+//! size `W_i / m` on a single unit-speed machine, where FIFO is known to be
+//! optimal for maximum flow time. The resulting value lower-bounds every
+//! feasible schedule of the original instance.
+//!
+//! We additionally expose the critical-path bound `OPT ≥ max_i P_i`
+//! (Proposition 2.1: no scheduler finishes a job faster than its span) and
+//! their combination, plus the analogous bounds for the weighted objective.
+
+use parflow_dag::Instance;
+use parflow_time::Rational;
+
+/// Per-job flow times of the paper's simulated-OPT baseline: FIFO on one
+/// unit-speed machine with job sizes `W_i / m`, computed exactly.
+///
+/// Jobs are processed in arrival order (the instance is arrival-sorted);
+/// `c_i = max(r_i, c_{i-1}) + W_i/m`, `F_i = c_i − r_i`.
+pub fn opt_flows(instance: &Instance, m: usize) -> Vec<Rational> {
+    assert!(m > 0);
+    let m128 = m as i128;
+    // Track completion scaled by m to stay in integers.
+    let mut completion_x_m: i128 = 0;
+    let mut flows = Vec::with_capacity(instance.len());
+    for job in instance.jobs() {
+        let arrival_x_m = job.arrival as i128 * m128;
+        completion_x_m = completion_x_m.max(arrival_x_m) + job.work() as i128;
+        flows.push(Rational::new(completion_x_m - arrival_x_m, m128));
+    }
+    flows
+}
+
+/// The paper's simulated-OPT lower bound on the optimal maximum flow time:
+/// `max_i F_i` of [`opt_flows`]. Zero for empty instances.
+///
+/// ```
+/// use parflow_dag::{shapes, Instance, Job};
+/// use parflow_time::Rational;
+/// use std::sync::Arc;
+///
+/// // Two jobs of 8 units arriving together on 2 processors: sizes 4 each,
+/// // FIFO on one machine completes them at 4 and 8 → max flow 8.
+/// let dag = Arc::new(shapes::single_node(8));
+/// let inst = Instance::new(vec![Job::new(0, 0, dag.clone()), Job::new(1, 0, dag)]);
+/// assert_eq!(parflow_core::opt_max_flow(&inst, 2), Rational::from_int(8));
+/// ```
+pub fn opt_max_flow(instance: &Instance, m: usize) -> Rational {
+    opt_flows(instance, m)
+        .into_iter()
+        .max()
+        .unwrap_or(Rational::ZERO)
+}
+
+/// Critical-path lower bound: `OPT ≥ max_i P_i`, since no scheduler can
+/// finish a job before its span elapses (Proposition 2.1).
+pub fn span_lower_bound(instance: &Instance) -> Rational {
+    Rational::from_int(instance.max_span() as i128)
+}
+
+/// The strongest unweighted lower bound this crate offers:
+/// `max(opt_max_flow, span_lower_bound)`.
+pub fn combined_lower_bound(instance: &Instance, m: usize) -> Rational {
+    opt_max_flow(instance, m).max(span_lower_bound(instance))
+}
+
+/// Lower bound on the optimal maximum *weighted* flow time:
+/// `max_i w_i · max(P_i, W_i/m)` — a job's flow in any schedule is at least
+/// its span and at least its work divided by the machine capacity.
+pub fn opt_weighted_lower_bound(instance: &Instance, m: usize) -> Rational {
+    assert!(m > 0);
+    let m128 = m as i128;
+    instance
+        .jobs()
+        .iter()
+        .map(|j| {
+            let span = Rational::from_int(j.span() as i128);
+            let work_over_m = Rational::new(j.work() as i128, m128);
+            span.max(work_over_m).mul_ratio(j.weight as i128, 1)
+        })
+        .max()
+        .unwrap_or(Rational::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parflow_dag::{shapes, Job};
+    use std::sync::Arc;
+
+    fn inst(arrivals_works: &[(u64, u64)]) -> Instance {
+        Instance::new(
+            arrivals_works
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, w))| Job::new(i as u32, a, Arc::new(shapes::single_node(w))))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_job() {
+        let i = inst(&[(0, 12)]);
+        assert_eq!(opt_max_flow(&i, 4), Rational::from_int(3));
+        assert_eq!(opt_max_flow(&i, 1), Rational::from_int(12));
+    }
+
+    #[test]
+    fn fractional_sizes() {
+        let i = inst(&[(0, 10)]);
+        assert_eq!(opt_max_flow(&i, 3), Rational::new(10, 3));
+    }
+
+    #[test]
+    fn queueing_backlog() {
+        // Two jobs at t=0, each W=4, m=2 → sizes 2 each; FIFO completions at
+        // 2 and 4 → max flow 4.
+        let i = inst(&[(0, 4), (0, 4)]);
+        assert_eq!(opt_max_flow(&i, 2), Rational::from_int(4));
+    }
+
+    #[test]
+    fn spaced_arrivals_no_backlog() {
+        // W/m = 2 each, arrivals 4 apart → each flows exactly 2.
+        let i = inst(&[(0, 4), (4, 4), (8, 4)]);
+        assert_eq!(opt_max_flow(&i, 2), Rational::from_int(2));
+        let flows = opt_flows(&i, 2);
+        assert!(flows.iter().all(|&f| f == Rational::from_int(2)));
+    }
+
+    #[test]
+    fn empty_instance_is_zero() {
+        let i = Instance::new(vec![]);
+        assert_eq!(opt_max_flow(&i, 2), Rational::ZERO);
+        assert_eq!(opt_weighted_lower_bound(&i, 2), Rational::ZERO);
+    }
+
+    #[test]
+    fn span_bound() {
+        let jobs = vec![
+            Job::new(0, 0, Arc::new(shapes::chain(5, 2))), // span 10
+            Job::new(1, 0, Arc::new(shapes::diamond(4, 1))), // span 3
+        ];
+        let i = Instance::new(jobs);
+        assert_eq!(span_lower_bound(&i), Rational::from_int(10));
+    }
+
+    #[test]
+    fn combined_bound_takes_max() {
+        // A single high-span job on many machines: W/m is tiny but span
+        // dominates.
+        let jobs = vec![Job::new(0, 0, Arc::new(shapes::chain(10, 1)))];
+        let i = Instance::new(jobs);
+        assert_eq!(opt_max_flow(&i, 100), Rational::new(10, 100));
+        assert_eq!(combined_lower_bound(&i, 100), Rational::from_int(10));
+    }
+
+    #[test]
+    fn weighted_bound() {
+        let jobs = vec![
+            Job::weighted(0, 0, 10, Arc::new(shapes::single_node(4))), // w=10, span=4, W/m=2
+            Job::weighted(1, 0, 1, Arc::new(shapes::single_node(100))), // w=1, span=100
+        ];
+        let i = Instance::new(jobs);
+        // max(10·max(4,2), 1·max(100,50)) = max(40, 100) = 100.
+        assert_eq!(opt_weighted_lower_bound(&i, 2), Rational::from_int(100));
+    }
+
+    #[test]
+    fn opt_flows_match_hand_computation() {
+        // m=2; jobs (arrival, work): (0,6),(1,2),(5,4)
+        // sizes 3,1,2; completions: 3, 4, 7; flows: 3, 3, 2.
+        let i = inst(&[(0, 6), (1, 2), (5, 4)]);
+        let flows = opt_flows(&i, 2);
+        assert_eq!(
+            flows,
+            vec![
+                Rational::from_int(3),
+                Rational::from_int(3),
+                Rational::from_int(2)
+            ]
+        );
+        assert_eq!(opt_max_flow(&i, 2), Rational::from_int(3));
+    }
+}

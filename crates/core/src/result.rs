@@ -1,0 +1,239 @@
+//! Per-run results: flow times and engine counters.
+
+use parflow_dag::JobId;
+use parflow_time::{Rational, Round, Speed, Ticks};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one job in a simulated schedule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job's id (dense, in arrival order).
+    pub job: JobId,
+    /// Release time `r_i` in wall-clock ticks.
+    pub arrival: Ticks,
+    /// Priority weight `w_i`.
+    pub weight: u64,
+    /// Round in which the job first received a unit of work (for work
+    /// stealing this equals the admission round `e_i`, since admission
+    /// immediately executes a node).
+    pub start_round: Round,
+    /// Round during which the job's last node finished.
+    pub completion_round: Round,
+    /// Completion wall-clock time `c_i` (end of `completion_round`).
+    pub completion: Rational,
+    /// Flow time `F_i = c_i − r_i`.
+    pub flow: Rational,
+}
+
+impl JobOutcome {
+    /// Weighted flow `w_i · F_i`.
+    pub fn weighted_flow(&self) -> Rational {
+        self.flow.mul_ratio(self.weight as i128, 1)
+    }
+}
+
+/// Aggregate counters of engine activity, used to cross-check the lemmas
+/// about idling/steal bounds and to report utilization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total processor-rounds in which a unit of job work was executed.
+    pub work_steps: u64,
+    /// Total processor-rounds spent on (successful or failed) steal attempts.
+    pub steal_attempts: u64,
+    /// Steal attempts that found a victim with a non-empty deque.
+    pub successful_steals: u64,
+    /// Jobs admitted from the global queue (work stealing only).
+    pub admissions: u64,
+    /// Processor-rounds with nothing to do at all.
+    pub idle_steps: u64,
+}
+
+impl EngineStats {
+    /// Processor *idling* steps in the paper's sense: rounds in which a
+    /// processor is not working on a job (stealing or idle).
+    pub fn idling_steps(&self) -> u64 {
+        self.steal_attempts + self.idle_steps
+    }
+}
+
+/// A sampled snapshot of work-stealing backlog state (see
+/// `SimConfig::with_sampling`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BacklogSample {
+    /// Round at which the sample was taken.
+    pub round: Round,
+    /// Jobs waiting in the global FIFO queue.
+    pub queued: usize,
+    /// Jobs admitted but not yet completed.
+    pub live: usize,
+    /// Ready tasks sitting in worker deques.
+    pub deque_tasks: usize,
+}
+
+/// The result of simulating one scheduler on one instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Number of processors used.
+    pub m: usize,
+    /// Speed the schedule ran at.
+    pub speed: Speed,
+    /// Last round index that did any work (schedule length in rounds).
+    pub total_rounds: Round,
+    /// Per-job outcomes, indexed by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// Engine activity counters.
+    pub stats: EngineStats,
+    /// Backlog samples (non-empty only for work stealing with
+    /// `SimConfig::with_sampling`).
+    pub samples: Vec<BacklogSample>,
+}
+
+impl SimResult {
+    /// Maximum flow time `max_i F_i` (the unweighted objective).
+    /// Returns zero for empty instances.
+    pub fn max_flow(&self) -> Rational {
+        self.outcomes
+            .iter()
+            .map(|o| o.flow)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// Maximum weighted flow time `max_i w_i·F_i` (the Section 7 objective).
+    pub fn max_weighted_flow(&self) -> Rational {
+        self.outcomes
+            .iter()
+            .map(|o| o.weighted_flow())
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// The job achieving the maximum flow time.
+    pub fn argmax_flow(&self) -> Option<&JobOutcome> {
+        self.outcomes.iter().max_by_key(|o| o.flow)
+    }
+
+    /// The job achieving the maximum weighted flow time.
+    pub fn argmax_weighted_flow(&self) -> Option<&JobOutcome> {
+        self.outcomes.iter().max_by_key(|o| o.weighted_flow())
+    }
+
+    /// Mean flow time, as `f64` (reporting only).
+    pub fn mean_flow(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.flow.to_f64()).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Makespan: wall-clock completion time of the last job.
+    pub fn makespan(&self) -> Rational {
+        self.outcomes
+            .iter()
+            .map(|o| o.completion)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// Fraction of processor-rounds spent executing job work over the whole
+    /// schedule (`work_steps / (m · total_rounds)`). Under the free-steal
+    /// cost model steal *probes* consume no processor time, so they do not
+    /// reduce this figure; under unit-cost steals they do.
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = self.m as u64 * self.total_rounds;
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.stats.work_steps as f64 / capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(job: u32, arrival: u64, weight: u64, flow: i128) -> JobOutcome {
+        JobOutcome {
+            job,
+            arrival,
+            weight,
+            start_round: 0,
+            completion_round: 0,
+            completion: Rational::from_int(arrival as i128) + Rational::from_int(flow),
+            flow: Rational::from_int(flow),
+        }
+    }
+
+    fn result(outcomes: Vec<JobOutcome>) -> SimResult {
+        SimResult {
+            m: 2,
+            speed: Speed::ONE,
+            total_rounds: 10,
+            outcomes,
+            stats: EngineStats::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn max_flow_empty_is_zero() {
+        let r = result(vec![]);
+        assert_eq!(r.max_flow(), Rational::ZERO);
+        assert_eq!(r.max_weighted_flow(), Rational::ZERO);
+        assert!(r.argmax_flow().is_none());
+        assert_eq!(r.mean_flow(), 0.0);
+    }
+
+    #[test]
+    fn max_and_mean() {
+        let r = result(vec![
+            outcome(0, 0, 1, 4),
+            outcome(1, 2, 1, 10),
+            outcome(2, 5, 1, 1),
+        ]);
+        assert_eq!(r.max_flow(), Rational::from_int(10));
+        assert_eq!(r.argmax_flow().unwrap().job, 1);
+        assert!((r.mean_flow() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_max_differs_from_unweighted() {
+        let r = result(vec![outcome(0, 0, 10, 4), outcome(1, 0, 1, 10)]);
+        assert_eq!(r.max_flow(), Rational::from_int(10));
+        assert_eq!(r.max_weighted_flow(), Rational::from_int(40));
+        assert_eq!(r.argmax_weighted_flow().unwrap().job, 0);
+    }
+
+    #[test]
+    fn idling_steps_sum() {
+        let s = EngineStats {
+            work_steps: 10,
+            steal_attempts: 3,
+            successful_steals: 1,
+            admissions: 2,
+            idle_steps: 4,
+        };
+        assert_eq!(s.idling_steps(), 7);
+    }
+
+    #[test]
+    fn busy_fraction() {
+        // m = 2, total_rounds = 10 -> capacity 20 processor-rounds.
+        let mut r = result(vec![outcome(0, 0, 1, 1)]);
+        r.stats = EngineStats {
+            work_steps: 15,
+            steal_attempts: 10,
+            idle_steps: 0,
+            ..Default::default()
+        };
+        assert!((r.busy_fraction() - 0.75).abs() < 1e-12);
+        r.total_rounds = 0;
+        assert_eq!(r.busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn makespan_is_last_completion() {
+        let r = result(vec![outcome(0, 0, 1, 4), outcome(1, 2, 1, 10)]);
+        assert_eq!(r.makespan(), Rational::from_int(12));
+    }
+}

@@ -1,0 +1,428 @@
+//! Schedule traces and an independent validity checker.
+//!
+//! Every engine can record what each processor did in each round. The
+//! validator re-checks a recorded trace against the instance *without
+//! trusting the engine*: arrivals, precedence constraints, exclusive node
+//! execution and work conservation. Property tests run every scheduler
+//! through this check.
+
+use parflow_dag::{Instance, JobId, NodeId};
+use parflow_time::{Round, Speed};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What one processor did during one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Executed one unit of work of node `node` of job `job`.
+    Work {
+        /// Job worked on.
+        job: JobId,
+        /// Node worked on.
+        node: NodeId,
+    },
+    /// Performed a steal attempt (work stealing only). `hit` is true if the
+    /// victim had work.
+    Steal {
+        /// Whether the attempt found work.
+        hit: bool,
+    },
+    /// Admitted a job from the global queue (work stealing only).
+    Admit {
+        /// Job admitted.
+        job: JobId,
+    },
+    /// Nothing to do.
+    Idle,
+}
+
+/// A complete record of a simulated schedule: `rounds[r][p]` is what
+/// processor `p` did during round `r`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Number of processors.
+    pub m: usize,
+    /// Speed of the schedule.
+    pub speed: Speed,
+    /// Per-round, per-processor actions.
+    pub rounds: Vec<Vec<Action>>,
+}
+
+/// A violation found by [`ScheduleTrace::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// A round row has the wrong number of processor entries.
+    BadRowWidth {
+        /// Offending round.
+        round: Round,
+    },
+    /// Work on a job before it arrived.
+    EarlyStart {
+        /// Offending round.
+        round: Round,
+        /// Offending job.
+        job: JobId,
+    },
+    /// Work on an unknown job or node.
+    UnknownTarget {
+        /// Offending job.
+        job: JobId,
+        /// Offending node.
+        node: NodeId,
+    },
+    /// Two processors executed the same node in the same round.
+    ConcurrentNode {
+        /// Offending round.
+        round: Round,
+        /// Offending job.
+        job: JobId,
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A node received a unit before all its predecessors completed.
+    PrecedenceViolation {
+        /// Offending round.
+        round: Round,
+        /// Offending job.
+        job: JobId,
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A node received more units than its work.
+    OverExecution {
+        /// Offending job.
+        job: JobId,
+        /// Offending node.
+        node: NodeId,
+    },
+    /// At the end of the trace some node had not received all its units.
+    IncompleteNode {
+        /// Offending job.
+        job: JobId,
+        /// Offending node.
+        node: NodeId,
+        /// Units actually executed.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::BadRowWidth { round } => write!(f, "round {round}: bad row width"),
+            TraceViolation::EarlyStart { round, job } => {
+                write!(f, "round {round}: job {job} executed before arrival")
+            }
+            TraceViolation::UnknownTarget { job, node } => {
+                write!(f, "unknown target job {job} node {node}")
+            }
+            TraceViolation::ConcurrentNode { round, job, node } => {
+                write!(f, "round {round}: node {node} of job {job} on 2 processors")
+            }
+            TraceViolation::PrecedenceViolation { round, job, node } => {
+                write!(f, "round {round}: job {job} node {node} ran before preds")
+            }
+            TraceViolation::OverExecution { job, node } => {
+                write!(f, "job {job} node {node} over-executed")
+            }
+            TraceViolation::IncompleteNode {
+                job,
+                node,
+                executed,
+            } => write!(f, "job {job} node {node} incomplete ({executed} units)"),
+        }
+    }
+}
+
+impl ScheduleTrace {
+    /// Exhaustively validate this trace against `instance`.
+    ///
+    /// Checks, independently of any engine state:
+    /// 1. every round row covers all `m` processors;
+    /// 2. no job is worked on before its arrival becomes visible
+    ///    (`arrival ≤ round-start`);
+    /// 3. no node runs on two processors in the same round;
+    /// 4. a node's first unit comes strictly after the round in which its
+    ///    last predecessor finished (units occupy whole rounds);
+    /// 5. every node receives exactly `work` units over the trace.
+    pub fn validate(&self, instance: &Instance) -> Result<(), TraceViolation> {
+        // executed units and completion round per (job, node)
+        let mut executed: HashMap<(JobId, NodeId), u64> = HashMap::new();
+        let mut completed_in: HashMap<(JobId, NodeId), Round> = HashMap::new();
+        let jobs = instance.jobs();
+        // Precompute predecessor lists per job (lazily, shared across rounds).
+        let mut preds_cache: HashMap<JobId, Vec<Vec<NodeId>>> = HashMap::new();
+
+        for (r, row) in self.rounds.iter().enumerate() {
+            let r = r as Round;
+            if row.len() != self.m {
+                return Err(TraceViolation::BadRowWidth { round: r });
+            }
+            let mut this_round: Vec<(JobId, NodeId)> = Vec::new();
+            for action in row {
+                let (job, node) = match *action {
+                    Action::Work { job, node } => (job, node),
+                    _ => continue,
+                };
+                let j = jobs
+                    .get(job as usize)
+                    .ok_or(TraceViolation::UnknownTarget { job, node })?;
+                if (node as usize) >= j.dag.num_nodes() {
+                    return Err(TraceViolation::UnknownTarget { job, node });
+                }
+                if !self.speed.arrived_by_round(j.arrival, r) {
+                    return Err(TraceViolation::EarlyStart { round: r, job });
+                }
+                if this_round.contains(&(job, node)) {
+                    return Err(TraceViolation::ConcurrentNode {
+                        round: r,
+                        job,
+                        node,
+                    });
+                }
+                this_round.push((job, node));
+
+                // Precedence: every predecessor must have completed in a
+                // strictly earlier round. Predecessors are nodes v with
+                // `node ∈ succs(v)`.
+                let units = executed.entry((job, node)).or_insert(0);
+                if *units == 0 {
+                    let preds = preds_cache.entry(job).or_insert_with(|| {
+                        let mut p = vec![Vec::new(); j.dag.num_nodes()];
+                        for (pid, pnode) in j.dag.iter_nodes() {
+                            for &s in &pnode.succs {
+                                p[s as usize].push(pid);
+                            }
+                        }
+                        p
+                    });
+                    for &pid in &preds[node as usize] {
+                        match completed_in.get(&(job, pid)) {
+                            Some(&cr) if cr < r => {}
+                            _ => {
+                                return Err(TraceViolation::PrecedenceViolation {
+                                    round: r,
+                                    job,
+                                    node,
+                                })
+                            }
+                        }
+                    }
+                }
+                *units += 1;
+                let w = j.dag.node(node).work;
+                if *units > w {
+                    return Err(TraceViolation::OverExecution { job, node });
+                }
+                if *units == w {
+                    completed_in.insert((job, node), r);
+                }
+            }
+        }
+
+        // Work conservation: every node of every job fully executed.
+        for j in jobs {
+            for (nid, node) in j.dag.iter_nodes() {
+                let got = executed.get(&(j.id, nid)).copied().unwrap_or(0);
+                if got != node.work {
+                    return Err(TraceViolation::IncompleteNode {
+                        job: j.id,
+                        node: nid,
+                        executed: got,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count processor-rounds by action type: (work, steals, admits, idle).
+    pub fn action_counts(&self) -> (u64, u64, u64, u64) {
+        let (mut w, mut s, mut a, mut i) = (0, 0, 0, 0);
+        for row in &self.rounds {
+            for act in row {
+                match act {
+                    Action::Work { .. } => w += 1,
+                    Action::Steal { .. } => s += 1,
+                    Action::Admit { .. } => a += 1,
+                    Action::Idle => i += 1,
+                }
+            }
+        }
+        (w, s, a, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parflow_dag::{shapes, Instance, Job};
+    use std::sync::Arc;
+
+    fn one_job_instance(arrival: u64) -> Instance {
+        let dag = Arc::new(shapes::chain(2, 1)); // nodes 0 -> 1, 1 unit each
+        Instance::new(vec![Job::new(0, arrival, dag)])
+    }
+
+    fn trace(m: usize, rounds: Vec<Vec<Action>>) -> ScheduleTrace {
+        ScheduleTrace {
+            m,
+            speed: Speed::ONE,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn valid_chain_trace() {
+        let inst = one_job_instance(0);
+        let t = trace(
+            1,
+            vec![
+                vec![Action::Work { job: 0, node: 0 }],
+                vec![Action::Work { job: 0, node: 1 }],
+            ],
+        );
+        assert_eq!(t.validate(&inst), Ok(()));
+        assert_eq!(t.action_counts(), (2, 0, 0, 0));
+    }
+
+    #[test]
+    fn early_start_detected() {
+        let inst = one_job_instance(5);
+        let t = trace(1, vec![vec![Action::Work { job: 0, node: 0 }]]);
+        assert_eq!(
+            t.validate(&inst),
+            Err(TraceViolation::EarlyStart { round: 0, job: 0 })
+        );
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let inst = one_job_instance(0);
+        // Node 1 before node 0.
+        let t = trace(
+            1,
+            vec![
+                vec![Action::Work { job: 0, node: 1 }],
+                vec![Action::Work { job: 0, node: 0 }],
+            ],
+        );
+        assert!(matches!(
+            t.validate(&inst),
+            Err(TraceViolation::PrecedenceViolation { node: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn same_round_succ_violation_detected() {
+        // Executing succ in the same round as the pred's completion is a
+        // violation (rounds are atomic time steps).
+        let dag = Arc::new(shapes::chain(2, 1));
+        let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+        let t = trace(
+            2,
+            vec![vec![
+                Action::Work { job: 0, node: 0 },
+                Action::Work { job: 0, node: 1 },
+            ]],
+        );
+        assert!(matches!(
+            t.validate(&inst),
+            Err(TraceViolation::PrecedenceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_node_detected() {
+        let dag = Arc::new(shapes::single_node(2));
+        let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+        let t = trace(
+            2,
+            vec![vec![
+                Action::Work { job: 0, node: 0 },
+                Action::Work { job: 0, node: 0 },
+            ]],
+        );
+        assert!(matches!(
+            t.validate(&inst),
+            Err(TraceViolation::ConcurrentNode { .. })
+        ));
+    }
+
+    #[test]
+    fn over_execution_detected() {
+        let inst = Instance::new(vec![Job::new(0, 0, Arc::new(shapes::single_node(1)))]);
+        let t = trace(
+            1,
+            vec![
+                vec![Action::Work { job: 0, node: 0 }],
+                vec![Action::Work { job: 0, node: 0 }],
+            ],
+        );
+        assert!(matches!(
+            t.validate(&inst),
+            Err(TraceViolation::OverExecution { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_detected() {
+        let inst = Instance::new(vec![Job::new(0, 0, Arc::new(shapes::single_node(2)))]);
+        let t = trace(1, vec![vec![Action::Work { job: 0, node: 0 }]]);
+        assert!(matches!(
+            t.validate(&inst),
+            Err(TraceViolation::IncompleteNode { executed: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_job_detected() {
+        let inst = one_job_instance(0);
+        let t = trace(1, vec![vec![Action::Work { job: 7, node: 0 }]]);
+        assert!(matches!(
+            t.validate(&inst),
+            Err(TraceViolation::UnknownTarget { job: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_row_width_detected() {
+        let inst = one_job_instance(0);
+        let t = trace(2, vec![vec![Action::Idle]]);
+        assert_eq!(
+            t.validate(&inst),
+            Err(TraceViolation::BadRowWidth { round: 0 })
+        );
+    }
+
+    #[test]
+    fn augmented_speed_arrival_check() {
+        // Speed 2: round r starts at r/2. Job arrives at tick 1 → first
+        // valid round is 2.
+        let dag = Arc::new(shapes::single_node(1));
+        let inst = Instance::new(vec![Job::new(0, 1, dag)]);
+        let mut t = trace(
+            1,
+            vec![
+                vec![Action::Idle],
+                vec![Action::Work { job: 0, node: 0 }],
+            ],
+        );
+        t.speed = Speed::integer(2);
+        assert_eq!(
+            t.validate(&inst),
+            Err(TraceViolation::EarlyStart { round: 1, job: 0 })
+        );
+        let mut t2 = trace(
+            1,
+            vec![
+                vec![Action::Idle],
+                vec![Action::Idle],
+                vec![Action::Work { job: 0, node: 0 }],
+            ],
+        );
+        t2.speed = Speed::integer(2);
+        assert_eq!(t2.validate(&inst), Ok(()));
+    }
+}

@@ -1,0 +1,368 @@
+//! The dynamic-unfolding execution view of a job's DAG.
+//!
+//! Schedulers in the paper are **non-clairvoyant**: they see neither the
+//! job's total work, nor its span, nor the structure of yet-unreached parts
+//! of the DAG. `DagCursor` enforces that boundary: the only queries it offers
+//! are "which nodes are ready right now" and "is the job finished", and the
+//! only mutations are claim / release / execute-one-unit.
+
+use crate::error::ExecError;
+use crate::graph::{JobDag, NodeId};
+use parflow_time::Work;
+
+/// Execution state of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeState {
+    /// Some predecessors have not completed.
+    Blocked,
+    /// All predecessors completed; available to be claimed.
+    Ready,
+    /// Claimed by a processor (being executed, possibly across many rounds).
+    Claimed,
+    /// All work units executed.
+    Completed,
+}
+
+/// Result of executing one unit of work on a claimed node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// The node still has remaining work and stays claimed.
+    InProgress,
+    /// The node finished; `newly_ready` lists successors that became ready
+    /// as a result (in successor-list order, deterministic).
+    NodeCompleted {
+        /// Nodes that transitioned Blocked → Ready by this completion.
+        newly_ready: Vec<NodeId>,
+        /// True if this was the job's last node: the job is now complete.
+        job_completed: bool,
+    },
+}
+
+/// Tracks the execution progress of a single job's DAG.
+///
+/// The cursor maintains, per node: remaining work, unmet predecessor count
+/// and state. The ready set is kept as a dense vector with a position index
+/// so membership updates are O(1) and iteration order is deterministic.
+#[derive(Clone, Debug)]
+pub struct DagCursor {
+    remaining: Vec<Work>,
+    unmet_preds: Vec<u32>,
+    state: Vec<NodeState>,
+    ready: Vec<NodeId>,
+    /// `ready_pos[v]` = index of v in `ready`, or `usize::MAX`.
+    ready_pos: Vec<usize>,
+    completed_nodes: usize,
+    executed_units: Work,
+}
+
+impl DagCursor {
+    /// Start executing `dag` from scratch: sources are ready, all else blocked.
+    pub fn new(dag: &JobDag) -> Self {
+        let n = dag.num_nodes();
+        let mut cursor = DagCursor {
+            remaining: Vec::with_capacity(n),
+            unmet_preds: Vec::with_capacity(n),
+            state: vec![NodeState::Blocked; n],
+            ready: Vec::new(),
+            ready_pos: vec![usize::MAX; n],
+            completed_nodes: 0,
+            executed_units: 0,
+        };
+        for (id, node) in dag.iter_nodes() {
+            cursor.remaining.push(node.work);
+            cursor.unmet_preds.push(node.pred_count);
+            if node.pred_count == 0 {
+                cursor.mark_ready(id);
+            }
+        }
+        cursor
+    }
+
+    fn mark_ready(&mut self, v: NodeId) {
+        self.state[v as usize] = NodeState::Ready;
+        self.ready_pos[v as usize] = self.ready.len();
+        self.ready.push(v);
+    }
+
+    fn remove_from_ready(&mut self, v: NodeId) {
+        let pos = self.ready_pos[v as usize];
+        debug_assert!(pos != usize::MAX);
+        let last = *self.ready.last().expect("ready set empty");
+        self.ready.swap_remove(pos);
+        if last != v {
+            self.ready_pos[last as usize] = pos;
+        }
+        self.ready_pos[v as usize] = usize::MAX;
+    }
+
+    /// The nodes currently ready (deterministic order; not sorted).
+    #[inline]
+    pub fn ready_nodes(&self) -> &[NodeId] {
+        &self.ready
+    }
+
+    /// Number of currently ready nodes.
+    #[inline]
+    pub fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// True once every node has completed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.completed_nodes == self.remaining.len()
+    }
+
+    /// Total units executed so far (monotone; equals total work at the end).
+    #[inline]
+    pub fn executed_units(&self) -> Work {
+        self.executed_units
+    }
+
+    /// Number of nodes fully completed so far.
+    #[inline]
+    pub fn completed_nodes(&self) -> usize {
+        self.completed_nodes
+    }
+
+    /// Remaining work on a node (0 once completed).
+    pub fn remaining_work(&self, v: NodeId) -> Result<Work, ExecError> {
+        self.remaining
+            .get(v as usize)
+            .copied()
+            .ok_or(ExecError::OutOfRange { node: v })
+    }
+
+    /// True if `v` is ready (claimable).
+    pub fn is_ready(&self, v: NodeId) -> bool {
+        matches!(self.state.get(v as usize), Some(NodeState::Ready))
+    }
+
+    /// True if `v` is currently claimed by some processor.
+    pub fn is_claimed(&self, v: NodeId) -> bool {
+        matches!(self.state.get(v as usize), Some(NodeState::Claimed))
+    }
+
+    /// Claim a ready node for execution (Ready → Claimed). A claimed node is
+    /// excluded from [`DagCursor::ready_nodes`], modelling that a node is
+    /// executed by a single processor at a time.
+    pub fn claim(&mut self, v: NodeId) -> Result<(), ExecError> {
+        match self.state.get(v as usize) {
+            None => Err(ExecError::OutOfRange { node: v }),
+            Some(NodeState::Ready) => {
+                self.remove_from_ready(v);
+                self.state[v as usize] = NodeState::Claimed;
+                Ok(())
+            }
+            Some(_) => Err(ExecError::NotReady { node: v }),
+        }
+    }
+
+    /// Release a claimed node without finishing it (Claimed → Ready). Used
+    /// by preemptive centralized schedulers (FIFO / BWF reassign processors
+    /// every round).
+    pub fn release(&mut self, v: NodeId) -> Result<(), ExecError> {
+        match self.state.get(v as usize) {
+            None => Err(ExecError::OutOfRange { node: v }),
+            Some(NodeState::Claimed) => {
+                self.mark_ready(v);
+                Ok(())
+            }
+            Some(_) => Err(ExecError::NotClaimed { node: v }),
+        }
+    }
+
+    /// Execute one unit of work on a claimed node. Needs the job's [`JobDag`]
+    /// to propagate readiness when the node completes.
+    pub fn execute_unit(&mut self, dag: &JobDag, v: NodeId) -> Result<UnitOutcome, ExecError> {
+        match self.state.get(v as usize) {
+            None => return Err(ExecError::OutOfRange { node: v }),
+            Some(NodeState::Claimed) => {}
+            Some(_) => return Err(ExecError::NotClaimed { node: v }),
+        }
+        debug_assert!(self.remaining[v as usize] > 0);
+        self.remaining[v as usize] -= 1;
+        self.executed_units += 1;
+        if self.remaining[v as usize] > 0 {
+            return Ok(UnitOutcome::InProgress);
+        }
+        self.state[v as usize] = NodeState::Completed;
+        self.completed_nodes += 1;
+        let mut newly_ready = Vec::new();
+        for &u in &dag.node(v).succs {
+            let c = &mut self.unmet_preds[u as usize];
+            debug_assert!(*c > 0);
+            *c -= 1;
+            if *c == 0 {
+                self.mark_ready(u);
+                newly_ready.push(u);
+            }
+        }
+        Ok(UnitOutcome::NodeCompleted {
+            newly_ready,
+            job_completed: self.is_complete(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    fn diamond() -> JobDag {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let l = b.add_node(2);
+        let r = b.add_node(2);
+        let t = b.add_node(1);
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_ready_set_is_sources() {
+        let dag = diamond();
+        let c = DagCursor::new(&dag);
+        assert_eq!(c.ready_nodes(), &[0]);
+        assert!(!c.is_complete());
+        assert_eq!(c.executed_units(), 0);
+    }
+
+    #[test]
+    fn full_execution_diamond() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        c.claim(0).unwrap();
+        let out = c.execute_unit(&dag, 0).unwrap();
+        match out {
+            UnitOutcome::NodeCompleted {
+                newly_ready,
+                job_completed,
+            } => {
+                assert_eq!(newly_ready, vec![1, 2]);
+                assert!(!job_completed);
+            }
+            _ => panic!("source should complete in one unit"),
+        }
+        assert_eq!(c.ready_count(), 2);
+        // Execute both middles interleaved.
+        c.claim(1).unwrap();
+        c.claim(2).unwrap();
+        assert_eq!(c.execute_unit(&dag, 1).unwrap(), UnitOutcome::InProgress);
+        assert_eq!(c.execute_unit(&dag, 2).unwrap(), UnitOutcome::InProgress);
+        assert!(matches!(
+            c.execute_unit(&dag, 1).unwrap(),
+            UnitOutcome::NodeCompleted { ref newly_ready, .. } if newly_ready.is_empty()
+        ));
+        let out = c.execute_unit(&dag, 2).unwrap();
+        match out {
+            UnitOutcome::NodeCompleted { newly_ready, .. } => assert_eq!(newly_ready, vec![3]),
+            _ => panic!(),
+        }
+        c.claim(3).unwrap();
+        let out = c.execute_unit(&dag, 3).unwrap();
+        assert!(matches!(
+            out,
+            UnitOutcome::NodeCompleted {
+                job_completed: true,
+                ..
+            }
+        ));
+        assert!(c.is_complete());
+        assert_eq!(c.executed_units(), dag.total_work());
+        assert_eq!(c.completed_nodes(), 4);
+    }
+
+    #[test]
+    fn claim_blocked_fails() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        assert_eq!(c.claim(3).unwrap_err(), ExecError::NotReady { node: 3 });
+    }
+
+    #[test]
+    fn double_claim_fails() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        c.claim(0).unwrap();
+        assert_eq!(c.claim(0).unwrap_err(), ExecError::NotReady { node: 0 });
+    }
+
+    #[test]
+    fn execute_unclaimed_fails() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        assert_eq!(
+            c.execute_unit(&dag, 0).unwrap_err(),
+            ExecError::NotClaimed { node: 0 }
+        );
+    }
+
+    #[test]
+    fn release_returns_to_ready() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        c.claim(0).unwrap();
+        assert_eq!(c.ready_count(), 0);
+        c.release(0).unwrap();
+        assert!(c.is_ready(0));
+        assert_eq!(c.ready_count(), 1);
+        // Can claim again and partial progress is preserved across release.
+        let mut b = DagBuilder::new();
+        b.add_node(3);
+        let dag2 = b.build().unwrap();
+        let mut c2 = DagCursor::new(&dag2);
+        c2.claim(0).unwrap();
+        c2.execute_unit(&dag2, 0).unwrap();
+        c2.release(0).unwrap();
+        assert_eq!(c2.remaining_work(0).unwrap(), 2);
+        c2.claim(0).unwrap();
+        c2.execute_unit(&dag2, 0).unwrap();
+        assert!(matches!(
+            c2.execute_unit(&dag2, 0).unwrap(),
+            UnitOutcome::NodeCompleted { .. }
+        ));
+    }
+
+    #[test]
+    fn release_unclaimed_fails() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        assert_eq!(c.release(0).unwrap_err(), ExecError::NotClaimed { node: 0 });
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        assert_eq!(c.claim(99).unwrap_err(), ExecError::OutOfRange { node: 99 });
+        assert_eq!(
+            c.remaining_work(99).unwrap_err(),
+            ExecError::OutOfRange { node: 99 }
+        );
+    }
+
+    #[test]
+    fn ready_set_swap_remove_consistency() {
+        // Three independent nodes; claim the middle one and make sure the
+        // position index stays consistent.
+        let mut b = DagBuilder::new();
+        b.add_node(1);
+        b.add_node(1);
+        b.add_node(1);
+        let dag = b.build().unwrap();
+        let mut c = DagCursor::new(&dag);
+        assert_eq!(c.ready_count(), 3);
+        c.claim(1).unwrap();
+        assert_eq!(c.ready_count(), 2);
+        assert!(c.is_ready(0));
+        assert!(c.is_ready(2));
+        c.claim(0).unwrap();
+        c.claim(2).unwrap();
+        assert_eq!(c.ready_count(), 0);
+    }
+}

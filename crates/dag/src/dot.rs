@@ -1,0 +1,62 @@
+//! GraphViz export of job DAGs, for debugging and documentation.
+
+use crate::graph::JobDag;
+use std::fmt::Write as _;
+
+impl JobDag {
+    /// Render the DAG in GraphViz `dot` syntax. Node labels show
+    /// `id (work)`; the graph flows top to bottom.
+    ///
+    /// ```
+    /// use parflow_dag::shapes;
+    /// let dot = shapes::diamond(2, 3).to_dot("diamond");
+    /// assert!(dot.starts_with("digraph diamond {"));
+    /// assert!(dot.contains("0 -> 1"));
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        for (id, node) in self.iter_nodes() {
+            let _ = writeln!(out, "  {id} [label=\"{id} ({}u)\"];", node.work);
+        }
+        for (id, node) in self.iter_nodes() {
+            for &succ in &node.succs {
+                let _ = writeln!(out, "  {id} -> {succ};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shapes;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dag = shapes::diamond(3, 2); // 5 nodes, 6 edges
+        let dot = dag.to_dot("d");
+        for id in 0..5 {
+            assert!(dot.contains(&format!("{id} [label=")), "node {id} missing");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 6);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_labels_carry_work() {
+        let dot = shapes::single_node(42).to_dot("single");
+        assert!(dot.contains("(42u)"));
+    }
+
+    #[test]
+    fn chain_dot_is_linear() {
+        let dot = shapes::chain(3, 1).to_dot("chain");
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("1 -> 2"));
+        assert_eq!(dot.matches(" -> ").count(), 2);
+    }
+}

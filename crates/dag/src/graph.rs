@@ -1,0 +1,279 @@
+//! The static DAG structure of a dynamic multithreaded job.
+
+use crate::error::DagError;
+use parflow_time::Work;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within one job's DAG.
+pub type NodeId = u32;
+
+/// One node (task) of a job DAG: a strand of sequential work of length
+/// `work` units that becomes ready when all its predecessors complete.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Processing time `p_v` in work units (always ≥ 1).
+    pub work: Work,
+    /// Successor node indices (edges `v -> u`).
+    pub succs: Vec<NodeId>,
+    /// Number of predecessor edges into this node.
+    pub pred_count: u32,
+}
+
+/// An immutable, validated DAG describing one job's internal structure.
+///
+/// Invariants (enforced by [`crate::DagBuilder`]):
+/// * at least one node, every node has `work ≥ 1`;
+/// * the edge relation is acyclic with no self-loops or duplicates;
+/// * `topo_order` is a topological order of all nodes.
+///
+/// Schedulers never read this directly — they see jobs only through
+/// [`crate::DagCursor`], which reveals ready nodes as the DAG unfolds
+/// (non-clairvoyance). The full structure is used by workload generators,
+/// the trace validator, and for computing `W_i` (work) and `P_i` (span).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobDag {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) topo_order: Vec<NodeId>,
+    total_work: Work,
+    span: Work,
+}
+
+impl JobDag {
+    /// Internal constructor used by the builder after validation.
+    pub(crate) fn from_validated(nodes: Vec<Node>, topo_order: Vec<NodeId>) -> Self {
+        let total_work: Work = nodes.iter().map(|n| n.work).sum();
+        let span = Self::compute_span(&nodes, &topo_order);
+        JobDag {
+            nodes,
+            topo_order,
+            total_work,
+            span,
+        }
+    }
+
+    /// Longest weighted path through the DAG (the critical-path length
+    /// `P_i`), computed by DP over the topological order.
+    fn compute_span(nodes: &[Node], topo: &[NodeId]) -> Work {
+        let mut finish: Vec<Work> = vec![0; nodes.len()];
+        let mut best = 0;
+        for &v in topo {
+            let v = v as usize;
+            let f = finish[v] + nodes[v].work;
+            best = best.max(f);
+            for &u in &nodes[v].succs {
+                let u = u as usize;
+                finish[u] = finish[u].max(f);
+            }
+        }
+        best
+    }
+
+    /// Number of nodes in the DAG.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total work `W_i`: the job's running time on one processor.
+    #[inline]
+    pub fn total_work(&self) -> Work {
+        self.total_work
+    }
+
+    /// Critical-path length `P_i`: the job's running time on infinitely many
+    /// processors. Lower bound on the job's execution time for any scheduler.
+    #[inline]
+    pub fn span(&self) -> Work {
+        self.span
+    }
+
+    /// Average parallelism `W_i / P_i` (reported as `f64`).
+    #[inline]
+    pub fn parallelism(&self) -> f64 {
+        self.total_work as f64 / self.span as f64
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Iterate over all nodes with their ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as NodeId, n))
+    }
+
+    /// Node indices with no predecessors (the initially ready nodes).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.iter_nodes()
+            .filter(|(_, n)| n.pred_count == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Node indices with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.iter_nodes()
+            .filter(|(_, n)| n.succs.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A topological order over all nodes (stable across runs).
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo_order
+    }
+
+    /// Exhaustively re-checks the structural invariants. `JobDag` values
+    /// built through [`crate::DagBuilder`] always pass; this exists so tests
+    /// and the trace validator can independently verify deserialized DAGs.
+    pub fn validate(&self) -> Result<(), DagError> {
+        if self.nodes.is_empty() {
+            return Err(DagError::Empty);
+        }
+        let n = self.nodes.len() as u32;
+        let mut pred_counts = vec![0u32; n as usize];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.work == 0 {
+                return Err(DagError::ZeroWork { node: i as u32 });
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &s in &node.succs {
+                if s >= n {
+                    return Err(DagError::UnknownNode { node: s });
+                }
+                if s as usize == i {
+                    return Err(DagError::SelfLoop { node: s });
+                }
+                if !seen.insert(s) {
+                    return Err(DagError::DuplicateEdge {
+                        from: i as u32,
+                        to: s,
+                    });
+                }
+                pred_counts[s as usize] += 1;
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if pred_counts[i] != node.pred_count {
+                // Inconsistent pred counts make the cursor misbehave; treat
+                // as a cycle-class integrity failure.
+                return Err(DagError::Cycle);
+            }
+        }
+        // Kahn's algorithm to confirm acyclicity.
+        let mut indeg = pred_counts;
+        let mut queue: Vec<u32> = (0..n).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &u in &self.nodes[v as usize].succs {
+                indeg[u as usize] -= 1;
+                if indeg[u as usize] == 0 {
+                    queue.push(u);
+                }
+            }
+        }
+        if seen != self.nodes.len() {
+            return Err(DagError::Cycle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DagBuilder;
+
+    #[test]
+    fn single_node_metrics() {
+        let dag = DagBuilder::new().node(5).build().unwrap();
+        assert_eq!(dag.num_nodes(), 1);
+        assert_eq!(dag.total_work(), 5);
+        assert_eq!(dag.span(), 5);
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![0]);
+        assert!((dag.parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_span_equals_work() {
+        // 0 -> 1 -> 2, works 2,3,4
+        let mut b = DagBuilder::new();
+        let a = b.add_node(2);
+        let c = b.add_node(3);
+        let d = b.add_node(4);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(dag.total_work(), 9);
+        assert_eq!(dag.span(), 9);
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![2]);
+    }
+
+    #[test]
+    fn diamond_span() {
+        // 0 -> {1,2} -> 3 ; works 1, 5, 2, 1 → span = 1+5+1 = 7, work 9
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        let l = b.add_node(5);
+        let r = b.add_node(2);
+        let t = b.add_node(1);
+        b.add_edge(s, l).unwrap();
+        b.add_edge(s, r).unwrap();
+        b.add_edge(l, t).unwrap();
+        b.add_edge(r, t).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(dag.total_work(), 9);
+        assert_eq!(dag.span(), 7);
+        assert!((dag.parallelism() - 9.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_nodes_span_is_max() {
+        let mut b = DagBuilder::new();
+        b.add_node(3);
+        b.add_node(7);
+        b.add_node(2);
+        let dag = b.build().unwrap();
+        assert_eq!(dag.total_work(), 12);
+        assert_eq!(dag.span(), 7);
+        assert_eq!(dag.sources().len(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_built_dags() {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(1);
+        for _ in 0..10 {
+            let c = b.add_node(2);
+            b.add_edge(s, c).unwrap();
+        }
+        let dag = b.build().unwrap();
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut b = DagBuilder::new();
+        let n0 = b.add_node(1);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(1);
+        let n3 = b.add_node(1);
+        b.add_edge(n0, n2).unwrap();
+        b.add_edge(n1, n2).unwrap();
+        b.add_edge(n2, n3).unwrap();
+        let dag = b.build().unwrap();
+        let order = dag.topo_order();
+        let pos = |x: u32| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+}

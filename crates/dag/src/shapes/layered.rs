@@ -1,0 +1,120 @@
+//! Random layered DAGs for property tests and robustness experiments.
+
+use crate::builder::DagBuilder;
+use crate::graph::JobDag;
+use parflow_time::Work;
+use rand::Rng;
+
+/// Parameters for [`layered_random`].
+#[derive(Clone, Copy, Debug)]
+pub struct LayeredParams {
+    /// Number of layers (≥ 1).
+    pub layers: usize,
+    /// Maximum nodes per layer (each layer gets 1..=max, random).
+    pub max_width: usize,
+    /// Node work drawn uniformly from `1..=max_node_work`.
+    pub max_node_work: Work,
+    /// Probability of each cross-layer edge beyond the mandatory one,
+    /// in percent (0..=100).
+    pub extra_edge_pct: u8,
+}
+
+impl Default for LayeredParams {
+    fn default() -> Self {
+        LayeredParams {
+            layers: 4,
+            max_width: 6,
+            max_node_work: 10,
+            extra_edge_pct: 30,
+        }
+    }
+}
+
+/// Generate a random layered DAG: nodes are grouped in layers; every node in
+/// layer `k > 0` has at least one predecessor in layer `k-1` (so the DAG is
+/// "deep" and unfolds gradually) plus random extra edges from the previous
+/// layer. Edges only go from layer `k-1` to layer `k`, so acyclicity is
+/// structural.
+pub fn layered_random<R: Rng + ?Sized>(rng: &mut R, params: LayeredParams) -> JobDag {
+    assert!(params.layers >= 1 && params.max_width >= 1 && params.max_node_work >= 1);
+    assert!(params.extra_edge_pct <= 100);
+    let mut b = DagBuilder::new();
+    let mut prev_layer: Vec<u32> = Vec::new();
+    for layer in 0..params.layers {
+        let width = rng.gen_range(1..=params.max_width);
+        let mut this_layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let w = rng.gen_range(1..=params.max_node_work);
+            let id = b.add_node(w);
+            if layer > 0 {
+                // Mandatory predecessor keeps the DAG connected layer-to-layer.
+                let p = prev_layer[rng.gen_range(0..prev_layer.len())];
+                b.add_edge(p, id).expect("valid");
+                for &q in &prev_layer {
+                    if q != p && rng.gen_range(0..100u8) < params.extra_edge_pct {
+                        b.add_edge(q, id).expect("valid");
+                    }
+                }
+            }
+            this_layer.push(id);
+        }
+        prev_layer = this_layer;
+    }
+    b.build().expect("layered construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_valid_dags() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let d = layered_random(&mut rng, LayeredParams::default());
+            assert!(d.validate().is_ok());
+            assert!(d.total_work() >= d.span());
+            assert!(d.span() >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = LayeredParams {
+            layers: 5,
+            max_width: 4,
+            max_node_work: 8,
+            extra_edge_pct: 50,
+        };
+        let d1 = layered_random(&mut SmallRng::seed_from_u64(7), p);
+        let d2 = layered_random(&mut SmallRng::seed_from_u64(7), p);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn single_layer_has_no_edges() {
+        let p = LayeredParams {
+            layers: 1,
+            max_width: 5,
+            max_node_work: 3,
+            extra_edge_pct: 100,
+        };
+        let d = layered_random(&mut SmallRng::seed_from_u64(3), p);
+        assert_eq!(d.sources().len(), d.num_nodes());
+    }
+
+    #[test]
+    fn span_grows_with_layers() {
+        // With ≥1 unit per layer and mandatory chaining, span ≥ layers.
+        let p = LayeredParams {
+            layers: 10,
+            max_width: 3,
+            max_node_work: 5,
+            extra_edge_pct: 0,
+        };
+        let d = layered_random(&mut SmallRng::seed_from_u64(11), p);
+        assert!(d.span() >= 10);
+    }
+}

@@ -1,0 +1,145 @@
+//! Flow-time statistics.
+
+use parflow_time::Rational;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of flow times.
+///
+/// Percentiles use the nearest-rank method on the sorted sample; the
+/// maximum is kept exact (rational), everything else is `f64` because it is
+/// reporting-only.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Sample size.
+    pub count: usize,
+    /// Exact maximum flow (the paper's objective).
+    pub max: Rational,
+    /// Mean flow.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl FlowStats {
+    /// Compute statistics from exact flows. Returns `None` for an empty set.
+    pub fn from_flows(flows: &[Rational]) -> Option<FlowStats> {
+        if flows.is_empty() {
+            return None;
+        }
+        let max = flows.iter().copied().max().expect("non-empty");
+        let mut vals: Vec<f64> = flows.iter().map(|f| f.to_f64()).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("flows are finite"));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        Some(FlowStats {
+            count: vals.len(),
+            max,
+            mean,
+            p50: percentile_sorted(&vals, 0.50),
+            p95: percentile_sorted(&vals, 0.95),
+            p99: percentile_sorted(&vals, 0.99),
+            p999: percentile_sorted(&vals, 0.999),
+        })
+    }
+
+    /// Max flow in milliseconds given the tick resolution (ticks/second).
+    pub fn max_ms(&self, ticks_per_second: f64) -> f64 {
+        self.max.to_f64() * 1000.0 / ticks_per_second
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; `q` in `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The competitive-style ratio `alg / lower_bound`, `None` when the bound is
+/// zero (empty instance).
+pub fn ratio_to_bound(alg: Rational, lower_bound: Rational) -> Option<f64> {
+    if lower_bound.is_zero() {
+        return None;
+    }
+    Some((alg / lower_bound).to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(FlowStats::from_flows(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = FlowStats::from_flows(&[r(7)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, r(7));
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p999, 7.0);
+    }
+
+    #[test]
+    fn known_percentiles() {
+        let flows: Vec<Rational> = (1..=100).map(r).collect();
+        let s = FlowStats::from_flows(&flows).unwrap();
+        assert_eq!(s.max, r(100));
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let flows = vec![r(5), r(1), r(9), r(3)];
+        let s = FlowStats::from_flows(&flows).unwrap();
+        assert_eq!(s.max, r(9));
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    fn max_ms_conversion() {
+        let s = FlowStats::from_flows(&[r(250)]).unwrap();
+        // 250 ticks at 10_000 ticks/s = 25 ms.
+        assert!((s.max_ms(10_000.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 3.0);
+        assert_eq!(percentile_sorted(&v, 0.34), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn ratio() {
+        assert_eq!(ratio_to_bound(r(10), r(4)), Some(2.5));
+        assert_eq!(ratio_to_bound(r(10), Rational::ZERO), None);
+        assert_eq!(
+            ratio_to_bound(Rational::new(3, 2), Rational::new(1, 2)),
+            Some(3.0)
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Runtime jobs and tasks.
+//!
+//! A runtime job mirrors the paper's empirical setup: CPU-intensive work
+//! parallelized with a parallel-for loop. On admission the job fans out
+//! into `chunks` independent chunk tasks; the job completes when the last
+//! chunk finishes. Work is measured in *iterations* of a deterministic
+//! spin kernel so results do not depend on clock resolution.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a job's work is structured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobShape {
+    /// A flat parallel-for: all chunks are pushed at admission.
+    Flat,
+    /// A recursive binary fork-join of the given depth: admission pushes
+    /// one spawn task; each spawn task pushes two children (spawns until
+    /// depth 0, then chunks). Produces `2^depth` leaf chunks and exercises
+    /// deep deque nesting exactly like divide-and-conquer programs.
+    ForkJoin {
+        /// Recursion depth (`2^depth` leaves).
+        depth: u32,
+    },
+}
+
+/// Specification of one job submitted to the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Number of parallel-for chunks (leaves for fork-join).
+    pub chunks: usize,
+    /// Spin-kernel iterations per chunk.
+    pub iters_per_chunk: u64,
+    /// Structure of the job.
+    pub shape: JobShape,
+}
+
+impl JobSpec {
+    /// A flat job with `total_iters` of work split into `chunks` chunks.
+    pub fn split(total_iters: u64, chunks: usize) -> Self {
+        let chunks = chunks.max(1);
+        JobSpec {
+            chunks,
+            iters_per_chunk: (total_iters / chunks as u64).max(1),
+            shape: JobShape::Flat,
+        }
+    }
+
+    /// A recursive fork-join job with `2^depth` leaves carrying
+    /// `total_iters` of work in total.
+    pub fn fork_join(total_iters: u64, depth: u32) -> Self {
+        assert!(depth <= 16, "fork-join depth {depth} would exceed 65k leaves");
+        let leaves = 1usize << depth;
+        JobSpec {
+            chunks: leaves,
+            iters_per_chunk: (total_iters / leaves as u64).max(1),
+            shape: JobShape::ForkJoin { depth },
+        }
+    }
+
+    /// Number of trackable tasks: leaves only (spawn strands are free).
+    pub fn leaf_tasks(&self) -> usize {
+        self.chunks
+    }
+}
+
+/// Shared state of one in-flight job.
+#[derive(Debug)]
+pub struct JobState {
+    /// Dense job index.
+    pub id: u32,
+    /// Chunks not yet finished.
+    pub remaining: AtomicUsize,
+    /// Nanoseconds from the run's base instant to arrival.
+    pub arrival_ns: AtomicU64,
+    /// Nanoseconds from the base instant to completion (0 = incomplete).
+    pub completion_ns: AtomicU64,
+    /// Iterations per chunk.
+    pub iters_per_chunk: u64,
+    /// Total chunks.
+    pub chunks: usize,
+    /// Structure of the job.
+    pub shape: JobShape,
+}
+
+impl JobState {
+    /// Create the state for a job of `spec` shape.
+    pub fn new(id: u32, spec: JobSpec) -> Self {
+        JobState {
+            id,
+            remaining: AtomicUsize::new(spec.leaf_tasks()),
+            arrival_ns: AtomicU64::new(0),
+            completion_ns: AtomicU64::new(0),
+            iters_per_chunk: spec.iters_per_chunk,
+            chunks: spec.chunks,
+            shape: spec.shape,
+        }
+    }
+
+    /// Mark one chunk finished; returns true if this was the last chunk.
+    pub fn finish_chunk(&self, base: Instant) -> bool {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let ns = base.elapsed().as_nanos() as u64;
+            self.completion_ns.store(ns.max(1), Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flow time in nanoseconds, if complete.
+    pub fn flow_ns(&self) -> Option<u64> {
+        let done = self.completion_ns.load(Ordering::Acquire);
+        if done == 0 {
+            return None;
+        }
+        Some(done.saturating_sub(self.arrival_ns.load(Ordering::Acquire)))
+    }
+}
+
+/// A unit of schedulable work.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Owning job.
+    pub job: Arc<JobState>,
+    /// What this task does.
+    pub kind: TaskKind,
+}
+
+/// Task variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Execute one leaf chunk of spin work.
+    Chunk,
+    /// Spawn two subtasks (fork-join recursion); depth 1 spawns chunks.
+    Spawn {
+        /// Remaining recursion depth (≥ 1).
+        depth: u32,
+    },
+}
+
+/// The CPU-bound spin kernel: a splitmix-style integer recurrence the
+/// optimizer cannot remove (the result is returned and consumed with
+/// `std::hint::black_box` by the caller).
+#[inline]
+pub fn spin_kernel(iters: u64, seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_spec() {
+        let s = JobSpec::split(100, 4);
+        assert_eq!(s.chunks, 4);
+        assert_eq!(s.iters_per_chunk, 25);
+        let tiny = JobSpec::split(2, 8);
+        assert_eq!(tiny.iters_per_chunk, 1);
+        let zero_chunks = JobSpec::split(10, 0);
+        assert_eq!(zero_chunks.chunks, 1);
+    }
+
+    #[test]
+    fn job_state_completion() {
+        let base = Instant::now();
+        let js = JobState::new(0, JobSpec { chunks: 3, iters_per_chunk: 1, shape: JobShape::Flat });
+        assert!(js.flow_ns().is_none());
+        assert!(!js.finish_chunk(base));
+        assert!(!js.finish_chunk(base));
+        assert!(js.finish_chunk(base));
+        assert!(js.flow_ns().is_some());
+    }
+
+    #[test]
+    fn flow_subtracts_arrival() {
+        let base = Instant::now();
+        let js = JobState::new(0, JobSpec { chunks: 1, iters_per_chunk: 1, shape: JobShape::Flat });
+        js.arrival_ns.store(100, Ordering::Release);
+        js.finish_chunk(base);
+        let flow = js.flow_ns().unwrap();
+        let completion = js.completion_ns.load(Ordering::Acquire);
+        assert_eq!(flow, completion.saturating_sub(100));
+    }
+
+    #[test]
+    fn fork_join_spec() {
+        let s = JobSpec::fork_join(1024, 4);
+        assert_eq!(s.chunks, 16);
+        assert_eq!(s.iters_per_chunk, 64);
+        assert_eq!(s.shape, JobShape::ForkJoin { depth: 4 });
+        assert_eq!(s.leaf_tasks(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "65k leaves")]
+    fn fork_join_depth_cap() {
+        let _ = JobSpec::fork_join(1, 17);
+    }
+
+    #[test]
+    fn spin_kernel_depends_on_iters() {
+        let a = spin_kernel(10, 42);
+        let b = spin_kernel(11, 42);
+        assert_ne!(a, b);
+        assert_eq!(spin_kernel(10, 42), a, "deterministic");
+    }
+}

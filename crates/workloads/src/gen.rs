@@ -1,0 +1,306 @@
+//! Workload specification and instance generation.
+
+use crate::arrivals::{ArrivalProcess, PeriodicArrivals, PoissonArrivals};
+use crate::dist::{bing, finance, LogNormalDist, WorkDistribution};
+use parflow_dag::{shapes, Instance, Job, JobDag};
+use parflow_time::Work;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Tick resolution: 1 tick = 0.1 ms, so 10 000 ticks per second. A job of
+/// `w` work units takes `w/10` ms on one unit-speed processor.
+pub const TICKS_PER_SECOND: f64 = 10_000.0;
+
+/// Which work distribution to draw job sizes from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DistKind {
+    /// Bing web search (Figure 3a).
+    Bing,
+    /// Finance option pricing (Figure 3b).
+    Finance,
+    /// Log-normal synthetic (Section 6).
+    LogNormal,
+    /// Uniform over an inclusive range (testing).
+    Uniform {
+        /// Inclusive lower bound (work units).
+        lo: Work,
+        /// Inclusive upper bound (work units).
+        hi: Work,
+    },
+    /// Constant work (testing / adversarial).
+    Constant(
+        /// The work value (units).
+        Work,
+    ),
+}
+
+impl DistKind {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Work {
+        match *self {
+            DistKind::Bing => bing().sample(rng),
+            DistKind::Finance => finance().sample(rng),
+            DistKind::LogNormal => LogNormalDist::paper().sample(rng),
+            DistKind::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            DistKind::Constant(w) => w,
+        }
+    }
+
+    /// Expected work in units.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DistKind::Bing => bing().mean(),
+            DistKind::Finance => finance().mean(),
+            DistKind::LogNormal => LogNormalDist::paper().mean(),
+            DistKind::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            DistKind::Constant(w) => w as f64,
+        }
+    }
+
+    /// Name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistKind::Bing => "bing",
+            DistKind::Finance => "finance",
+            DistKind::LogNormal => "log-normal",
+            DistKind::Uniform { .. } => "uniform",
+            DistKind::Constant(_) => "constant",
+        }
+    }
+}
+
+/// How each job's work is structured as a DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// Parallel-for with the given grain size: a job of `w` units becomes
+    /// `ceil(w/grain)` chunks between a source and a sink — the paper's
+    /// job structure ("parallelized using parallel for loops").
+    ParallelFor {
+        /// Units of work per chunk.
+        grain: Work,
+    },
+    /// Fully sequential single node.
+    Sequential,
+    /// Recursive binary fork-join with ~`w/leaf` leaves of `leaf` units.
+    ForkJoin {
+        /// Units of work per leaf.
+        leaf: Work,
+    },
+}
+
+impl ShapeKind {
+    /// Materialize a DAG carrying (approximately, exactly for
+    /// `Sequential`/`ParallelFor`) `work` units.
+    pub fn build(&self, work: Work) -> JobDag {
+        match *self {
+            ShapeKind::Sequential => shapes::single_node(work),
+            ShapeKind::ParallelFor { grain } => {
+                let grain = grain.max(1);
+                let chunks = work.div_ceil(grain).max(1) as usize;
+                shapes::parallel_for(work, chunks)
+            }
+            ShapeKind::ForkJoin { leaf } => {
+                let leaf = leaf.max(1);
+                let leaves = (work / leaf).max(1);
+                let depth = (64 - leaves.leading_zeros() - 1).min(12);
+                shapes::fork_join(depth, leaf)
+            }
+        }
+    }
+}
+
+/// A complete workload specification; `generate` turns it into an
+/// [`Instance`], deterministically for a given seed.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Work distribution.
+    pub dist: DistKind,
+    /// Job structure.
+    pub shape: ShapeKind,
+    /// Arrival rate in queries per second (Poisson); `None` for periodic
+    /// arrivals with `period_ticks`.
+    pub qps: Option<f64>,
+    /// Fixed period in ticks when `qps` is `None`.
+    pub period_ticks: u64,
+    /// Number of jobs `n`.
+    pub n_jobs: usize,
+    /// RNG seed (workload generation only; engines take their own seeds).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's Figure 2 setup: given distribution and QPS, parallel-for
+    /// jobs with a 1 ms grain (10 units).
+    ///
+    /// ```
+    /// use parflow_workloads::{DistKind, WorkloadSpec};
+    /// let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 100, 42).generate();
+    /// assert_eq!(inst.len(), 100);
+    /// assert!(inst.jobs().iter().all(|j| j.dag.validate().is_ok()));
+    /// ```
+    pub fn paper_fig2(dist: DistKind, qps: f64, n_jobs: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            dist,
+            shape: ShapeKind::ParallelFor { grain: 10 },
+            qps: Some(qps),
+            period_ticks: 0,
+            n_jobs,
+            seed,
+        }
+    }
+
+    /// Generate the instance.
+    pub fn generate(&self) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let arrivals = match self.qps {
+            Some(qps) => {
+                PoissonArrivals::from_qps(qps, TICKS_PER_SECOND).arrivals(&mut rng, self.n_jobs)
+            }
+            None => PeriodicArrivals {
+                gap: self.period_ticks,
+            }
+            .arrivals(&mut rng, self.n_jobs),
+        };
+        let jobs = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let work = self.dist.sample(&mut rng);
+                let dag = Arc::new(self.shape.build(work));
+                Job::new(i as u32, arrival, dag)
+            })
+            .collect();
+        Instance::new(jobs)
+    }
+
+    /// Predicted machine utilization at `m` processors:
+    /// `QPS · E[W] / (ticks-per-second · m)`. The DAG adds 2 units
+    /// (source + sink) per parallel-for job, included here.
+    pub fn expected_utilization(&self, m: usize) -> f64 {
+        let overhead = match self.shape {
+            ShapeKind::ParallelFor { .. } => 2.0,
+            _ => 0.0,
+        };
+        let rate = match self.qps {
+            Some(qps) => qps,
+            None => TICKS_PER_SECOND / self.period_ticks as f64,
+        };
+        rate * (self.dist.mean() + overhead) / (TICKS_PER_SECOND * m as f64)
+    }
+}
+
+/// The QPS at which `dist` reaches a target utilization on `m` processors.
+pub fn qps_for_utilization(dist: DistKind, m: usize, target: f64) -> f64 {
+    assert!(target > 0.0);
+    target * TICKS_PER_SECOND * m as f64 / dist.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 200, 42);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.work(), y.work());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 200, 1).generate();
+        let b = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 200, 2).generate();
+        let same = a
+            .jobs()
+            .iter()
+            .zip(b.jobs())
+            .filter(|(x, y)| x.arrival == y.arrival)
+            .count();
+        assert!(same < a.len(), "seeds should change arrivals");
+    }
+
+    #[test]
+    fn utilization_prediction_close_to_realized() {
+        let spec = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, 20_000, 7);
+        let inst = spec.generate();
+        let predicted = spec.expected_utilization(16);
+        let realized = inst.utilization(16).unwrap().to_f64();
+        assert!(
+            (predicted - realized).abs() / predicted < 0.05,
+            "predicted {predicted} vs realized {realized}"
+        );
+    }
+
+    #[test]
+    fn fig2_loads_are_paper_like() {
+        // QPS 800 / 1000 / 1200 on m=16 must give ≈ 53 / 66 / 80 %.
+        for (qps, lo, hi) in [(800.0, 0.45, 0.60), (1000.0, 0.58, 0.73), (1200.0, 0.70, 0.88)] {
+            let u = WorkloadSpec::paper_fig2(DistKind::Bing, qps, 10, 0).expected_utilization(16);
+            assert!((lo..hi).contains(&u), "qps {qps} → util {u}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_shape_has_grain_chunks() {
+        let dag = ShapeKind::ParallelFor { grain: 10 }.build(95);
+        // 95 units → 10 chunks + source + sink.
+        assert_eq!(dag.num_nodes(), 12);
+        assert_eq!(dag.total_work(), 97);
+    }
+
+    #[test]
+    fn sequential_shape() {
+        let dag = ShapeKind::Sequential.build(55);
+        assert_eq!(dag.num_nodes(), 1);
+        assert_eq!(dag.total_work(), 55);
+    }
+
+    #[test]
+    fn fork_join_shape_reasonable() {
+        let dag = ShapeKind::ForkJoin { leaf: 10 }.build(160);
+        // 16 leaves → depth 4.
+        assert_eq!(dag.span(), 10 + 2 * 4);
+        assert!(dag.total_work() >= 160);
+    }
+
+    #[test]
+    fn qps_for_utilization_roundtrip() {
+        let qps = qps_for_utilization(DistKind::Constant(100), 16, 0.5);
+        // 0.5 · 10_000 · 16 / 100 = 800.
+        assert!((qps - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_spec() {
+        let spec = WorkloadSpec {
+            dist: DistKind::Constant(5),
+            shape: ShapeKind::Sequential,
+            qps: None,
+            period_ticks: 100,
+            n_jobs: 5,
+            seed: 0,
+        };
+        let inst = spec.generate();
+        let arrivals: Vec<_> = inst.jobs().iter().map(|j| j.arrival).collect();
+        assert_eq!(arrivals, vec![0, 100, 200, 300, 400]);
+        assert!(inst.jobs().iter().all(|j| j.work() == 5));
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = WorkloadSpec::paper_fig2(DistKind::Finance, 900.0, 1000, 3);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_jobs, 1000);
+        assert_eq!(back.dist, DistKind::Finance);
+        let a = spec.generate();
+        let b = back.generate();
+        assert_eq!(a.total_work(), b.total_work());
+    }
+}

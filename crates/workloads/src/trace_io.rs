@@ -1,0 +1,66 @@
+//! Persisting workload instances to JSON so experiments can be regenerated
+//! from identical inputs.
+
+use parflow_dag::Instance;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialize an instance to a JSON file.
+pub fn save_instance<P: AsRef<Path>>(instance: &Instance, path: P) -> io::Result<()> {
+    let json = serde_json::to_string(instance)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Load an instance from a JSON file, re-validating every job's DAG.
+pub fn load_instance<P: AsRef<Path>>(path: P) -> io::Result<Instance> {
+    let json = fs::read_to_string(path)?;
+    let instance: Instance = serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    for job in instance.jobs() {
+        job.dag
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{DistKind, WorkloadSpec};
+
+    #[test]
+    fn roundtrip() {
+        let inst = WorkloadSpec::paper_fig2(DistKind::Finance, 900.0, 50, 5).generate();
+        let dir = std::env::temp_dir().join("parflow_trace_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        save_instance(&inst, &path).unwrap();
+        let back = load_instance(&path).unwrap();
+        assert_eq!(back.len(), inst.len());
+        assert_eq!(back.total_work(), inst.total_work());
+        for (a, b) in inst.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.dag.total_work(), b.dag.total_work());
+            assert_eq!(a.dag.span(), b.dag.span());
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_instance("/nonexistent/definitely/missing.json").is_err());
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("parflow_trace_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        fs::write(&path, "not json at all").unwrap();
+        assert!(load_instance(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+}

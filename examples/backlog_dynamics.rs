@@ -1,0 +1,54 @@
+//! The *mechanism* behind Figure 2's gap, made visible: sample the global
+//! queue and live-job counts over time under both admission policies.
+//!
+//! admit-first drains the queue eagerly (queue ≈ 0, many jobs in flight,
+//! each running near-sequentially); steal-16-first keeps jobs queued and
+//! finishes the admitted ones with full parallelism — the FIFO-like
+//! behaviour that keeps the maximum flow time low.
+//!
+//! ```text
+//! cargo run --release --example backlog_dynamics
+//! ```
+
+use parflow::prelude::*;
+
+const M: usize = 16;
+
+fn sparkline(values: &[usize]) -> String {
+    const GLYPHS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| GLYPHS[(v * (GLYPHS.len() - 1)).div_ceil(max).min(GLYPHS.len() - 1)])
+        .collect()
+}
+
+fn main() {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1200.0, 20_000, 8).generate();
+    println!(
+        "Bing workload @1200 QPS, m = {M}, n = {}, utilization {:.0}%\n",
+        inst.len(),
+        inst.utilization(M).map(|u| u.to_f64()).unwrap_or(0.0) * 100.0
+    );
+
+    let cfg = SimConfig::new(M).with_free_steals().with_sampling(2048);
+    for policy in [StealPolicy::AdmitFirst, StealPolicy::StealKFirst { k: 16 }] {
+        let r = simulate_worksteal(&inst, &cfg, policy, 5);
+        let queued: Vec<usize> = r.samples.iter().map(|s| s.queued).collect();
+        let live: Vec<usize> = r.samples.iter().map(|s| s.live).collect();
+        println!("{} — max flow {:.0} ticks", policy.name(), r.max_flow().to_f64());
+        println!(
+            "  queued (peak {:>3}): {}",
+            queued.iter().max().unwrap_or(&0),
+            sparkline(&queued)
+        );
+        println!(
+            "  live   (peak {:>3}): {}",
+            live.iter().max().unwrap_or(&0),
+            sparkline(&live)
+        );
+        println!();
+    }
+    println!("reading: admit-first's 'live' row saturates (jobs crawl side by side);");
+    println!("steal-16-first parks load in 'queued' and keeps the live set small.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build jobs, schedule them three ways, compare max flow time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parflow::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. Describe jobs as DAGs -----------------------------------------
+    // A parallel-for request: 1-unit source → 8 chunks × 8 units → 1-unit
+    // sink (1 unit = 0.1 ms of CPU work).
+    let request = Arc::new(shapes::parallel_for(64, 8));
+    println!(
+        "job shape: {} nodes, work W = {} units, span P = {} units, parallelism {:.1}",
+        request.num_nodes(),
+        request.total_work(),
+        request.span(),
+        request.parallelism()
+    );
+
+    // Twenty such requests arriving every 0.5 ms (5 ticks).
+    let jobs: Vec<Job> = (0..20)
+        .map(|i| Job::new(i, i as u64 * 5, Arc::clone(&request)))
+        .collect();
+    let inst = Instance::new(jobs);
+
+    // --- 2. Schedule on a simulated 8-core machine ------------------------
+    let cfg = SimConfig::new(8).with_free_steals();
+
+    let fifo = simulate_fifo(&inst, &cfg);
+    let admit = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 42);
+    let steal16 = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, 42);
+    let opt = opt_max_flow(&inst, 8);
+
+    // --- 3. Compare against the optimal lower bound -----------------------
+    let mut table = Table::new(["scheduler", "max flow (ticks)", "vs OPT"]);
+    for (name, flow) in [
+        ("OPT (lower bound)", opt),
+        ("FIFO (idealized)", fifo.max_flow()),
+        ("steal-16-first", steal16.max_flow()),
+        ("admit-first", admit.max_flow()),
+    ] {
+        table.row([
+            name.to_string(),
+            format!("{:.1}", flow.to_f64()),
+            format!("{:.2}x", (flow / opt).to_f64()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // Flow-time distribution under steal-16-first.
+    let flows: Vec<Rational> = steal16.outcomes.iter().map(|o| o.flow).collect();
+    let stats = FlowStats::from_flows(&flows).expect("non-empty");
+    println!(
+        "steal-16-first flows: mean {:.1}, p50 {:.1}, p95 {:.1}, max {} ticks",
+        stats.mean, stats.p50, stats.p95, stats.max
+    );
+}

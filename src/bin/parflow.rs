@@ -1,0 +1,23 @@
+//! The `parflow` CLI: simulate, compare, generate, analyze, dot.
+//! All logic lives in `parflow::cli` (unit-tested); this wrapper only
+//! forwards arguments and sets the exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parflow::cli::run_cli(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  parflow simulate --dist bing|finance|lognormal --qps N --jobs N \\");
+            eprintln!("                   --m N --scheduler fifo|bwf|lifo|sjf|equi|admit-first|steal-<k>-first \\");
+            eprintln!("                   [--speed NUM[/DEN]] [--steals free|unit] [--seed N] [--grain N]");
+            eprintln!("  parflow compare  <same workload flags>");
+            eprintln!("  parflow generate <same workload flags> --out FILE.json");
+            eprintln!("  parflow analyze  --in FILE.json [--scheduler S] [--m N] [--eps NUM/DEN]");
+            eprintln!("  parflow dot      --shape single|chain|diamond|parallel-for|fork-join|map-reduce|pipeline|adversarial [shape flags]");
+            std::process::exit(2);
+        }
+    }
+}

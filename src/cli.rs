@@ -1,0 +1,480 @@
+//! The `parflow` command-line interface, as a library so every command is
+//! unit-testable. The binary (`src/bin/parflow.rs`) is a thin wrapper.
+//!
+//! ```text
+//! parflow simulate --dist bing --qps 1000 --jobs 5000 --scheduler steal-16-first
+//! parflow compare  --dist finance --qps 900 --jobs 5000
+//! parflow generate --dist lognormal --qps 1200 --jobs 1000 --out inst.json
+//! parflow analyze  --in inst.json --scheduler fifo --eps 1/10
+//! parflow dot      --shape fork-join --depth 3 --leaf 4
+//! ```
+
+use crate::core::{
+    analyze_intervals, opt_max_flow, SchedulerKind, SimConfig,
+};
+use crate::metrics::{FlowStats, Table};
+use crate::time::{Rational, Speed};
+use crate::workloads::{trace_io, DistKind, InstanceStats, ShapeKind, WorkloadSpec};
+use parflow_dag::{shapes, Instance};
+use std::collections::HashMap;
+use std::fmt;
+
+/// CLI errors (all user-facing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand or an unknown one.
+    UnknownCommand(String),
+    /// A flag was given without a value or with an unparsable one.
+    BadFlag(String, String),
+    /// A required flag is missing.
+    MissingFlag(String),
+    /// Filesystem / serde problem (message only, for testability).
+    Io(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command '{c}'; try simulate|compare|generate|analyze|dot")
+            }
+            CliError::BadFlag(k, v) => write!(f, "bad value '{v}' for --{k}"),
+            CliError::MissingFlag(k) => write!(f, "missing required flag --{k}"),
+            CliError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `--key value` flags.
+pub struct Flags(HashMap<String, String>);
+
+impl Flags {
+    /// Parse flags from arguments after the subcommand. Flags must come as
+    /// `--key value` pairs.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::BadFlag(a.clone(), "expected --flag".into()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::BadFlag(key.into(), "missing value".into()))?;
+            map.insert(key.to_string(), value.clone());
+        }
+        Ok(Flags(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| CliError::BadFlag(key.into(), v.into())),
+        }
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        Ok(self.parse_opt(key)?.unwrap_or(default))
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| CliError::MissingFlag(key.into()))
+    }
+}
+
+fn parse_dist(s: &str) -> Result<DistKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "bing" => Ok(DistKind::Bing),
+        "finance" => Ok(DistKind::Finance),
+        "lognormal" | "log-normal" => Ok(DistKind::LogNormal),
+        other => Err(CliError::BadFlag("dist".into(), other.into())),
+    }
+}
+
+fn parse_speed(s: &str) -> Result<Speed, CliError> {
+    let err = || CliError::BadFlag("speed".into(), s.into());
+    if let Some((num, den)) = s.split_once('/') {
+        let num: u64 = num.parse().map_err(|_| err())?;
+        let den: u64 = den.parse().map_err(|_| err())?;
+        if num == 0 || den == 0 {
+            return Err(err());
+        }
+        Ok(Speed::new(num, den))
+    } else {
+        let v: u64 = s.parse().map_err(|_| err())?;
+        if v == 0 {
+            return Err(err());
+        }
+        Ok(Speed::integer(v))
+    }
+}
+
+fn parse_rational(key: &str, s: &str) -> Result<Rational, CliError> {
+    let err = || CliError::BadFlag(key.into(), s.into());
+    if let Some((num, den)) = s.split_once('/') {
+        let num: i128 = num.parse().map_err(|_| err())?;
+        let den: i128 = den.parse().map_err(|_| err())?;
+        if den == 0 {
+            return Err(err());
+        }
+        Ok(Rational::new(num, den))
+    } else {
+        let v: i128 = s.parse().map_err(|_| err())?;
+        Ok(Rational::from_int(v))
+    }
+}
+
+fn workload_from_flags(flags: &Flags) -> Result<(WorkloadSpec, usize), CliError> {
+    let dist = parse_dist(flags.get("dist").unwrap_or("bing"))?;
+    let qps: f64 = flags.parse_or("qps", 1000.0)?;
+    if qps <= 0.0 || !qps.is_finite() {
+        return Err(CliError::BadFlag("qps".into(), qps.to_string()));
+    }
+    let jobs: usize = flags.parse_or("jobs", 10_000)?;
+    let seed: u64 = flags.parse_or("seed", 42u64)?;
+    let grain: u64 = flags.parse_or("grain", 10u64)?;
+    let m: usize = flags.parse_or("m", 16usize)?;
+    if m == 0 {
+        return Err(CliError::BadFlag("m".into(), "0".into()));
+    }
+    let spec = WorkloadSpec {
+        dist,
+        shape: ShapeKind::ParallelFor { grain: grain.max(1) },
+        qps: Some(qps),
+        period_ticks: 0,
+        n_jobs: jobs,
+        seed,
+    };
+    Ok((spec, m))
+}
+
+fn config_from_flags(flags: &Flags, m: usize) -> Result<SimConfig, CliError> {
+    let mut cfg = SimConfig::new(m);
+    if let Some(s) = flags.get("speed") {
+        cfg = cfg.with_speed(parse_speed(s)?);
+    }
+    match flags.get("steals").unwrap_or("free") {
+        "free" => cfg = cfg.with_free_steals(),
+        "unit" => {}
+        other => return Err(CliError::BadFlag("steals".into(), other.into())),
+    }
+    Ok(cfg)
+}
+
+fn result_summary(
+    name: &str,
+    inst: &Instance,
+    cfg: &SimConfig,
+    kind: SchedulerKind,
+    seed: u64,
+) -> (String, Vec<String>) {
+    let r = kind.run(inst, cfg, seed).0;
+    let flows: Vec<Rational> = r.outcomes.iter().map(|o| o.flow).collect();
+    let stats = FlowStats::from_flows(&flows).expect("non-empty instance");
+    let opt = opt_max_flow(inst, cfg.m);
+    let row = vec![
+        name.to_string(),
+        format!("{:.1}", stats.max.to_f64()),
+        format!("{:.2}", (stats.max / opt).to_f64()),
+        format!("{:.1}", stats.mean),
+        format!("{:.1}", stats.p99),
+        format!("{:.3}", r.busy_fraction()),
+    ];
+    (name.to_string(), row)
+}
+
+fn simulate_cmd(flags: &Flags) -> Result<String, CliError> {
+    let (spec, m) = workload_from_flags(flags)?;
+    let kind: SchedulerKind = flags
+        .require("scheduler")?
+        .parse()
+        .map_err(|e: crate::core::ParseSchedulerError| {
+            CliError::BadFlag("scheduler".into(), e.0)
+        })?;
+    let seed: u64 = flags.parse_or("seed", 42u64)?;
+    let cfg = config_from_flags(flags, m)?;
+    let inst = spec.generate();
+    if inst.is_empty() {
+        return Err(CliError::BadFlag("jobs".into(), "0".into()));
+    }
+    let mut t = Table::new(["scheduler", "max flow", "vs OPT", "mean", "p99", "busy"]);
+    let (_, row) = result_summary(&kind.to_string(), &inst, &cfg, kind, seed);
+    t.row(row);
+    let util = inst.utilization(m).map(|u| u.to_f64()).unwrap_or(0.0);
+    let stats = InstanceStats::of(&inst).expect("non-empty");
+    Ok(format!(
+        "workload: {} @{:.0} QPS, m={m}, utilization {:.0}% (flows in ticks; 1 tick = 0.1 ms)\n{stats}\n{}",
+        spec.dist.name(),
+        spec.qps.unwrap_or(0.0),
+        util * 100.0,
+        t.render()
+    ))
+}
+
+fn compare_cmd(flags: &Flags) -> Result<String, CliError> {
+    let (spec, m) = workload_from_flags(flags)?;
+    let seed: u64 = flags.parse_or("seed", 42u64)?;
+    let cfg = config_from_flags(flags, m)?;
+    let inst = spec.generate();
+    if inst.is_empty() {
+        return Err(CliError::BadFlag("jobs".into(), "0".into()));
+    }
+    let mut t = Table::new(["scheduler", "max flow", "vs OPT", "mean", "p99", "busy"]);
+    for kind in SchedulerKind::all() {
+        let (_, row) = result_summary(&kind.to_string(), &inst, &cfg, kind, seed);
+        t.row(row);
+    }
+    Ok(t.render())
+}
+
+fn generate_cmd(flags: &Flags) -> Result<String, CliError> {
+    let (spec, _) = workload_from_flags(flags)?;
+    let out = flags.require("out")?;
+    let inst = spec.generate();
+    trace_io::save_instance(&inst, out).map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(format!(
+        "wrote {} jobs ({} total work units) to {out}",
+        inst.len(),
+        inst.total_work()
+    ))
+}
+
+fn analyze_cmd(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.require("in")?;
+    let inst = trace_io::load_instance(path).map_err(|e| CliError::Io(e.to_string()))?;
+    if inst.is_empty() {
+        return Err(CliError::Io("instance is empty".into()));
+    }
+    let kind: SchedulerKind = flags
+        .get("scheduler")
+        .unwrap_or("steal-16-first")
+        .parse()
+        .map_err(|e: crate::core::ParseSchedulerError| {
+            CliError::BadFlag("scheduler".into(), e.0)
+        })?;
+    let m: usize = flags.parse_or("m", 16usize)?;
+    let seed: u64 = flags.parse_or("seed", 42u64)?;
+    let eps = parse_rational("eps", flags.get("eps").unwrap_or("1/10"))?;
+    if !eps.is_positive() {
+        return Err(CliError::BadFlag("eps".into(), eps.to_string()));
+    }
+    let cfg = config_from_flags(flags, m)?;
+    let r = kind.run(&inst, &cfg, seed).0;
+    let a = analyze_intervals(&r, eps).expect("non-empty");
+    let mut out = format!(
+        "{kind} on {} jobs, m={m}: max flow {:.1} ticks (job J_{}), OPT >= {:.1}\n",
+        inst.len(),
+        a.flow.to_f64(),
+        a.job,
+        opt_max_flow(&inst, m).to_f64()
+    );
+    out.push_str(&format!(
+        "interval decomposition (eps = {eps}): beta = {}, t' = {:.1}\n",
+        a.beta(),
+        a.t_prime.to_f64()
+    ));
+    let mut t = Table::new(["start", "end", "length", "defining job"]);
+    for iv in &a.intervals {
+        t.row([
+            format!("{:.1}", iv.start.to_f64()),
+            format!("{:.1}", iv.end.to_f64()),
+            format!("{:.1}", iv.len().to_f64()),
+            iv.defining_job
+                .map(|j| format!("J_{j}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+fn dot_cmd(flags: &Flags) -> Result<String, CliError> {
+    let shape = flags.require("shape")?;
+    let dag = match shape {
+        "single" => shapes::single_node(flags.parse_or("work", 10u64)?),
+        "chain" => shapes::chain(flags.parse_or("len", 4usize)?, flags.parse_or("work", 2u64)?),
+        "diamond" => shapes::diamond(
+            flags.parse_or("width", 4usize)?,
+            flags.parse_or("work", 2u64)?,
+        ),
+        "parallel-for" => shapes::parallel_for(
+            flags.parse_or("work", 40u64)?,
+            flags.parse_or("chunks", 8usize)?,
+        ),
+        "fork-join" => shapes::fork_join(
+            flags.parse_or("depth", 3u32)?,
+            flags.parse_or("leaf", 4u64)?,
+        ),
+        "map-reduce" => shapes::map_reduce(
+            flags.parse_or("mappers", 4usize)?,
+            flags.parse_or("map-work", 5u64)?,
+            flags.parse_or("reducers", 2usize)?,
+            flags.parse_or("reduce-work", 3u64)?,
+        ),
+        "pipeline" => shapes::pipeline(
+            flags.parse_or("stages", 3usize)?,
+            flags.parse_or("items", 4usize)?,
+            flags.parse_or("work", 2u64)?,
+        ),
+        "adversarial" => shapes::adversarial_tiny(flags.parse_or("m", 40usize)?),
+        other => return Err(CliError::BadFlag("shape".into(), other.into())),
+    };
+    Ok(dag.to_dot(&shape.replace('-', "_")))
+}
+
+/// Entry point: dispatch on the first argument.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::UnknownCommand("<none>".into()))?;
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "simulate" => simulate_cmd(&flags),
+        "compare" => compare_cmd(&flags),
+        "generate" => generate_cmd(&flags),
+        "analyze" => analyze_cmd(&flags),
+        "dot" => dot_cmd(&flags),
+        other => Err(CliError::UnknownCommand(other.into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_command_errors() {
+        assert!(matches!(run_cli(&[]), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            run_cli(&argv("frobnicate")),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_small() {
+        let out = run_cli(&argv(
+            "simulate --dist finance --qps 2000 --jobs 200 --m 4 --scheduler fifo",
+        ))
+        .unwrap();
+        assert!(out.contains("fifo"));
+        assert!(out.contains("max flow"));
+        assert!(out.contains("utilization"));
+    }
+
+    #[test]
+    fn simulate_requires_scheduler() {
+        let err = run_cli(&argv("simulate --jobs 10")).unwrap_err();
+        assert_eq!(err, CliError::MissingFlag("scheduler".into()));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_scheduler() {
+        let err = run_cli(&argv("simulate --jobs 10 --scheduler warp")).unwrap_err();
+        assert!(matches!(err, CliError::BadFlag(k, _) if k == "scheduler"));
+    }
+
+    #[test]
+    fn compare_lists_all_schedulers() {
+        let out = run_cli(&argv("compare --dist bing --qps 3000 --jobs 150 --m 4")).unwrap();
+        for name in ["fifo", "bwf", "lifo", "sjf", "equi", "admit-first", "steal-16-first"] {
+            assert!(out.contains(name), "missing {name} in output");
+        }
+    }
+
+    #[test]
+    fn generate_and_analyze_roundtrip() {
+        let dir = std::env::temp_dir().join("parflow_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wl.json");
+        let path_s = path.to_str().unwrap();
+        let out = run_cli(&argv(&format!(
+            "generate --dist finance --qps 2000 --jobs 100 --out {path_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote 100 jobs"));
+        let out = run_cli(&argv(&format!(
+            "analyze --in {path_s} --scheduler fifo --m 4 --eps 1/10"
+        )))
+        .unwrap();
+        assert!(out.contains("interval decomposition"));
+        assert!(out.contains("max flow"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn analyze_missing_file_errors() {
+        let err = run_cli(&argv("analyze --in /no/such/file.json")).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn dot_shapes() {
+        for shape in [
+            "single",
+            "chain",
+            "diamond",
+            "parallel-for",
+            "fork-join",
+            "map-reduce",
+            "pipeline",
+            "adversarial",
+        ] {
+            let out = run_cli(&argv(&format!("dot --shape {shape}"))).unwrap();
+            assert!(out.starts_with("digraph"), "{shape}: {out}");
+        }
+        assert!(run_cli(&argv("dot --shape blob")).is_err());
+        assert!(matches!(
+            run_cli(&argv("dot")),
+            Err(CliError::MissingFlag(_))
+        ));
+    }
+
+    #[test]
+    fn speed_parsing() {
+        assert_eq!(parse_speed("2").unwrap(), Speed::integer(2));
+        assert_eq!(parse_speed("11/10").unwrap(), Speed::new(11, 10));
+        assert!(parse_speed("0").is_err());
+        assert!(parse_speed("a/b").is_err());
+        // and through the full pipeline:
+        let out = run_cli(&argv(
+            "simulate --jobs 100 --m 4 --qps 2000 --scheduler fifo --speed 11/10",
+        ))
+        .unwrap();
+        assert!(out.contains("fifo"));
+    }
+
+    #[test]
+    fn steal_cost_flag() {
+        assert!(run_cli(&argv(
+            "simulate --jobs 50 --m 2 --qps 2000 --scheduler admit-first --steals unit"
+        ))
+        .is_ok());
+        assert!(run_cli(&argv(
+            "simulate --jobs 50 --m 2 --qps 2000 --scheduler admit-first --steals maybe"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn flag_parser_rejects_stragglers() {
+        assert!(Flags::parse(&argv("--key")).is_err());
+        assert!(Flags::parse(&argv("orphan value")).is_err());
+        let f = Flags::parse(&argv("--a 1 --b two")).unwrap();
+        assert_eq!(f.get("a"), Some("1"));
+        assert_eq!(f.get("b"), Some("two"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Classical scheduling-theory bounds checked end to end against the
+//! engines. These predate the paper but constrain any correct greedy
+//! scheduler, so they double as deep engine validation.
+
+use parflow::core::{run_priority, simulate_equi, Fifo};
+use parflow::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Brent's theorem / Graham's greedy bound: a work-conserving scheduler
+/// finishes a single DAG of work `W` and span `P` on `m` processors within
+/// `W/m + P` time. FIFO with one job is exactly greedy list scheduling.
+#[test]
+fn brents_bound_holds_for_single_jobs() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    for _ in 0..50 {
+        let dag = shapes::layered_random(
+            &mut rng,
+            shapes::LayeredParams {
+                layers: 6,
+                max_width: 8,
+                max_node_work: 10,
+                extra_edge_pct: 40,
+            },
+        );
+        let (w, p) = (dag.total_work(), dag.span());
+        for m in [1usize, 2, 4, 8] {
+            let inst = Instance::new(vec![Job::new(0, 0, Arc::new(dag.clone()))]);
+            let r = simulate_fifo(&inst, &SimConfig::new(m));
+            let bound = Rational::new(w as i128, m as i128) + Rational::from_int(p as i128);
+            assert!(
+                r.max_flow() <= bound,
+                "Brent violated: flow {} > W/m + P = {} (W={w}, P={p}, m={m})",
+                r.max_flow().to_f64(),
+                bound.to_f64()
+            );
+            // And the trivial lower bounds.
+            assert!(r.max_flow() >= Rational::from_int(p as i128));
+            assert!(r.max_flow() >= Rational::new(w as i128, m as i128));
+        }
+    }
+}
+
+/// The same bound holds for EQUI on a single job (with one job EQUI is
+/// greedy too).
+#[test]
+fn brents_bound_holds_for_equi_single_job() {
+    let dag = Arc::new(shapes::fork_join(5, 3));
+    let (w, p) = (dag.total_work(), dag.span());
+    for m in [2usize, 4, 16] {
+        let inst = Instance::new(vec![Job::new(0, 0, Arc::clone(&dag))]);
+        let r = simulate_equi(&inst, &SimConfig::new(m));
+        let bound = Rational::new(w as i128, m as i128) + Rational::from_int(p as i128);
+        assert!(r.max_flow() <= bound, "m={m}");
+    }
+}
+
+/// Batch bound: for jobs all arriving at time 0, any work-conserving
+/// schedule's makespan is at most `total_work/m + max_span` (Graham's
+/// argument applied to the union DAG) and at least
+/// `max(total_work/m, max_span)`.
+#[test]
+fn batch_makespan_bounds() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| {
+                let dag = shapes::layered_random(&mut rng, shapes::LayeredParams::default());
+                Job::new(i, 0, Arc::new(dag))
+            })
+            .collect();
+        let inst = Instance::new(jobs);
+        let w = inst.total_work();
+        let p = inst.max_span();
+        for m in [2usize, 4] {
+            let (r, _) = run_priority(&inst, &SimConfig::new(m), &Fifo);
+            let makespan = r.makespan();
+            let upper = Rational::new(w as i128, m as i128) + Rational::from_int(p as i128);
+            let lower =
+                Rational::new(w as i128, m as i128).max(Rational::from_int(p as i128));
+            assert!(makespan <= upper, "m={m}: {} > {}", makespan, upper);
+            assert!(makespan >= lower, "m={m}: {} < {}", makespan, lower);
+        }
+    }
+}
+
+/// Speed augmentation scales flows by exactly 1/s for a lone job (no
+/// queueing): the round count is unchanged, only round duration shrinks.
+#[test]
+fn lone_job_flow_scales_inversely_with_integer_speed() {
+    let dag = Arc::new(shapes::diamond(4, 5));
+    let inst = Instance::new(vec![Job::new(0, 0, Arc::clone(&dag))]);
+    let base = simulate_fifo(&inst, &SimConfig::new(2)).max_flow();
+    for s in [2u64, 3, 5] {
+        let fast = simulate_fifo(
+            &inst,
+            &SimConfig::new(2).with_speed(Speed::integer(s)),
+        )
+        .max_flow();
+        assert_eq!(fast.mul_ratio(s as i128, 1), base, "speed {s}");
+    }
+}
+
+/// Flow-time denominators divide the speed numerator: completion times are
+/// multiples of den/num, arrivals are integers, so every flow is a
+/// rational with denominator dividing `num`.
+#[test]
+fn flow_denominators_divide_speed_numerator() {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Finance, 2500.0, 300, 11).generate();
+    for (num, den) in [(11u64, 10u64), (3, 2), (21, 20)] {
+        let cfg = SimConfig::new(4).with_speed(Speed::new(num, den));
+        let r = simulate_fifo(&inst, &cfg);
+        for o in &r.outcomes {
+            assert!(
+                num as i128 % o.flow.den() == 0,
+                "flow {} has denominator not dividing {num}",
+                o.flow
+            );
+        }
+    }
+}

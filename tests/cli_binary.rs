@@ -1,0 +1,67 @@
+//! End-to-end test of the compiled `parflow` binary: real process spawn,
+//! real argv, real exit codes.
+
+use std::process::Command;
+
+fn parflow(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_parflow"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn compare_succeeds_and_prints_table() {
+    let out = parflow(&[
+        "compare", "--dist", "finance", "--qps", "2000", "--jobs", "200", "--m", "4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fifo"));
+    assert!(stdout.contains("steal-16-first"));
+    assert!(stdout.contains("max flow"));
+}
+
+#[test]
+fn bad_command_exits_nonzero_with_usage() {
+    let out = parflow(&["launch-missiles"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_flag_exits_nonzero() {
+    let out = parflow(&["simulate", "--jobs", "10"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scheduler"));
+}
+
+#[test]
+fn dot_pipes_cleanly() {
+    let out = parflow(&["dot", "--shape", "fork-join", "--depth", "2", "--leaf", "3"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph fork_join {"));
+    assert!(stdout.contains("->"));
+}
+
+#[test]
+fn generate_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("parflow_cli_binary_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wl.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = parflow(&[
+        "generate", "--dist", "bing", "--qps", "3000", "--jobs", "80", "--out", path_s,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 80 jobs"));
+
+    let out = parflow(&["analyze", "--in", path_s, "--scheduler", "equi", "--m", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("interval decomposition"));
+    std::fs::remove_file(path).unwrap();
+}

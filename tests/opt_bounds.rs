@@ -1,0 +1,124 @@
+//! Integration tests of the OPT lower bound against every scheduler, plus
+//! hand-computable end-to-end cases.
+
+use parflow::core::{combined_lower_bound, simulate_bwf, span_lower_bound};
+use parflow::prelude::*;
+use std::sync::Arc;
+
+fn mixed_instance(seed: u64, n: usize, qps: f64) -> Instance {
+    WorkloadSpec::paper_fig2(DistKind::Bing, qps, n, seed).generate()
+}
+
+#[test]
+fn opt_lower_bounds_all_unit_speed_schedulers() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let inst = mixed_instance(seed, 100, 2000.0);
+        let m = 8;
+        let cfg = SimConfig::new(m);
+        let cfg_free = SimConfig::new(m).with_free_steals();
+        let opt = opt_max_flow(&inst, m);
+        assert!(simulate_fifo(&inst, &cfg).max_flow() >= opt);
+        assert!(simulate_bwf(&inst, &cfg).max_flow() >= opt);
+        for policy in [StealPolicy::AdmitFirst, StealPolicy::StealKFirst { k: 16 }] {
+            assert!(simulate_worksteal(&inst, &cfg, policy, seed).max_flow() >= opt);
+            assert!(simulate_worksteal(&inst, &cfg_free, policy, seed).max_flow() >= opt);
+        }
+    }
+}
+
+#[test]
+fn span_bound_holds_per_job() {
+    let inst = mixed_instance(7, 80, 1500.0);
+    let cfg = SimConfig::new(8).with_free_steals();
+    let r = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, 11);
+    for o in &r.outcomes {
+        let span = inst.jobs()[o.job as usize].span();
+        assert!(
+            o.flow >= Rational::from_int(span as i128),
+            "job {} flow {} < span {}",
+            o.job,
+            o.flow,
+            span
+        );
+    }
+    assert!(r.max_flow() >= span_lower_bound(&inst));
+    assert!(r.max_flow() >= combined_lower_bound(&inst, 8));
+}
+
+#[test]
+fn single_wide_job_all_schedulers_hit_span_on_enough_cores() {
+    // A diamond of width 4 with unit nodes on m ≥ 4 cores completes in
+    // exactly span rounds under FIFO (greedy, centralized).
+    let dag = Arc::new(shapes::diamond(4, 1));
+    let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+    let r = simulate_fifo(&inst, &SimConfig::new(8));
+    assert_eq!(r.max_flow(), Rational::from_int(3));
+}
+
+#[test]
+fn backlogged_sequential_jobs_match_closed_form() {
+    // n unit-work sequential jobs all arriving at 0 on m cores: FIFO
+    // completes them in batches of m; max flow = ceil(n/m).
+    let dag = Arc::new(shapes::single_node(1));
+    for (n, m, expect) in [(10u32, 2usize, 5i128), (7, 3, 3), (16, 16, 1), (17, 16, 2)] {
+        let jobs: Vec<Job> = (0..n).map(|i| Job::new(i, 0, Arc::clone(&dag))).collect();
+        let inst = Instance::new(jobs);
+        let r = simulate_fifo(&inst, &SimConfig::new(m));
+        assert_eq!(r.max_flow(), Rational::from_int(expect), "n={n} m={m}");
+        // And the OPT reduction gives n·(1/m) stacked: max flow n/m.
+        assert_eq!(
+            opt_max_flow(&inst, m),
+            Rational::new(n as i128, m as i128).max(Rational::new(n as i128, m as i128)),
+        );
+    }
+}
+
+#[test]
+fn fifo_beats_or_matches_work_stealing_with_same_resources() {
+    // FIFO is the idealized target; on seeded workloads its max flow should
+    // not exceed unit-cost work stealing's (which pays for steals).
+    for seed in [3u64, 9, 27] {
+        let inst = mixed_instance(seed, 120, 2500.0);
+        let cfg = SimConfig::new(8);
+        let fifo = simulate_fifo(&inst, &cfg).max_flow();
+        let ws = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed).max_flow();
+        assert!(
+            fifo <= ws,
+            "seed {seed}: FIFO {} should be <= WS {}",
+            fifo.to_f64(),
+            ws.to_f64()
+        );
+    }
+}
+
+#[test]
+fn doubling_processors_never_hurts_opt_bound() {
+    let inst = mixed_instance(5, 60, 1200.0);
+    let opt8 = opt_max_flow(&inst, 8);
+    let opt16 = opt_max_flow(&inst, 16);
+    assert!(opt16 <= opt8);
+}
+
+#[test]
+fn augmented_fifo_can_beat_unit_speed_opt() {
+    // Sanity check of the resource-augmentation framing: with 2x speed FIFO
+    // on a backlogged instance beats the unit-speed OPT bound.
+    let dag = Arc::new(shapes::single_node(10));
+    let jobs: Vec<Job> = (0..8).map(|i| Job::new(i, 0, Arc::clone(&dag))).collect();
+    let inst = Instance::new(jobs);
+    let fast = simulate_fifo(&inst, &SimConfig::new(2).with_speed(Speed::integer(2)));
+    assert!(fast.max_flow() < opt_max_flow(&inst, 2));
+}
+
+#[test]
+fn weighted_lower_bound_dominated_by_bwf_at_unit_speed() {
+    let base = mixed_instance(13, 80, 1500.0);
+    let jobs: Vec<Job> = base
+        .jobs()
+        .iter()
+        .map(|j| Job::weighted(j.id, j.arrival, 1 + (j.id as u64 % 7), Arc::clone(&j.dag)))
+        .collect();
+    let inst = Instance::new(jobs);
+    let r = simulate_bwf(&inst, &SimConfig::new(8));
+    assert!(r.max_weighted_flow() >= opt_weighted_lower_bound(&inst, 8));
+}

@@ -1,0 +1,129 @@
+//! End-to-end checks of the paper's headline empirical and theoretical
+//! claims on seeded (deterministic) workloads.
+
+use parflow::prelude::*;
+
+const M: usize = 16;
+
+/// Section 6 / Figure 2: steal-16-first tracks OPT; admit-first degrades
+/// with load; ordering OPT ≤ steal-16 ≤ admit-first at high utilization.
+#[test]
+fn fig2_ordering_at_high_load() {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1200.0, 8_000, 42).generate();
+    let cfg = SimConfig::new(M).with_free_steals();
+    let opt = opt_max_flow(&inst, M);
+    let steal16 = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, 1).max_flow();
+    let admit = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1).max_flow();
+    assert!(opt <= steal16);
+    assert!(
+        steal16 <= admit,
+        "steal-16 {} should not exceed admit-first {}",
+        steal16.to_f64(),
+        admit.to_f64()
+    );
+    // The paper reports roughly 2x at high load for Bing; require a clear gap.
+    assert!(
+        admit.to_f64() >= 1.5 * steal16.to_f64(),
+        "expected a wide admit-first gap: {} vs {}",
+        admit.to_f64(),
+        steal16.to_f64()
+    );
+}
+
+/// Figure 2 monotonicity: max flow grows with load for each scheduler.
+#[test]
+fn max_flow_monotone_in_load() {
+    let cfg = SimConfig::new(M).with_free_steals();
+    let mut last_admit = 0.0;
+    let mut last_opt = 0.0;
+    for qps in [600.0, 1000.0, 1300.0] {
+        let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, 6_000, 7).generate();
+        let admit = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 3)
+            .max_flow()
+            .to_f64();
+        let opt = opt_max_flow(&inst, M).to_f64();
+        assert!(admit >= last_admit * 0.8, "admit-first roughly monotone");
+        assert!(opt >= last_opt * 0.8, "OPT roughly monotone");
+        last_admit = admit;
+        last_opt = opt;
+    }
+}
+
+/// Theorem 3.1: FIFO's ratio to OPT stays below 3/ε at (1+ε) speed.
+#[test]
+fn fifo_respects_three_over_eps() {
+    let qps = qps_for_utilization(DistKind::Bing, M, 0.95);
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, 5_000, 5).generate();
+    let opt = opt_max_flow(&inst, M);
+    for (en, ed) in [(1u64, 10u64), (1, 2), (1, 1)] {
+        let cfg = SimConfig::new(M).with_speed(Speed::augmented(en, ed));
+        let flow = simulate_fifo(&inst, &cfg).max_flow();
+        let eps = en as f64 / ed as f64;
+        let ratio = (flow / opt).to_f64();
+        assert!(
+            ratio <= 3.0 / eps,
+            "eps={eps}: ratio {ratio} exceeds 3/eps"
+        );
+    }
+}
+
+/// Lemma 5.1: the adversarial instance forces work stealing to Ω(log n)
+/// while FIFO stays at the optimum.
+#[test]
+fn lower_bound_separation() {
+    let m = 60;
+    let n = 16_000;
+    let inst = lower_bound_instance(n, m);
+    let cfg = SimConfig::new(m);
+    let ws = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 13).max_flow();
+    let fifo = simulate_fifo(&inst, &cfg).max_flow();
+    assert!(fifo <= Rational::from_int(3), "FIFO near-optimal: {fifo}");
+    assert!(
+        ws >= Rational::from_int(5),
+        "work stealing should hit a sequential gadget: {ws}"
+    );
+}
+
+/// Section 7: on weighted instances BWF's weighted max flow beats FIFO's
+/// when weights span orders of magnitude.
+#[test]
+fn bwf_beats_fifo_weighted() {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use std::sync::Arc;
+    let base = WorkloadSpec::paper_fig2(DistKind::Finance, 900.0, 5_000, 21).generate();
+    let mut rng = SmallRng::seed_from_u64(77);
+    let jobs: Vec<Job> = base
+        .jobs()
+        .iter()
+        .map(|j| {
+            let w = if rng.gen_range(0..50u32) == 0 { 1_000 } else { 1 };
+            Job::weighted(j.id, j.arrival, w, Arc::clone(&j.dag))
+        })
+        .collect();
+    let inst = Instance::new(jobs);
+    let cfg = SimConfig::new(M);
+    let bwf = parflow::core::simulate_bwf(&inst, &cfg).max_weighted_flow();
+    let fifo = simulate_fifo(&inst, &cfg).max_weighted_flow();
+    assert!(
+        bwf < fifo,
+        "BWF {} should beat FIFO {} on weighted max flow",
+        bwf.to_f64(),
+        fifo.to_f64()
+    );
+}
+
+/// Determinism: the whole pipeline (workload → schedule → stats) is
+/// bit-reproducible for fixed seeds.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let inst = WorkloadSpec::paper_fig2(DistKind::LogNormal, 1000.0, 2_000, 99).generate();
+        let cfg = SimConfig::new(M).with_free_steals();
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, 4);
+        (r.max_flow(), r.stats)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}

@@ -1,0 +1,39 @@
+//! Workload persistence round-trips and simulation reproducibility from
+//! saved instances.
+
+use parflow::prelude::*;
+use parflow::workloads::trace_io::{load_instance, save_instance};
+
+#[test]
+fn saved_instance_reproduces_simulation() {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Finance, 1200.0, 300, 8).generate();
+    let dir = std::env::temp_dir().join("parflow_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fin.json");
+    save_instance(&inst, &path).unwrap();
+    let loaded = load_instance(&path).unwrap();
+
+    let cfg = SimConfig::new(8).with_free_steals();
+    let policy = StealPolicy::StealKFirst { k: 16 };
+    let a = simulate_worksteal(&inst, &cfg, policy, 5);
+    let b = simulate_worksteal(&loaded, &cfg, policy, 5);
+    assert_eq!(a.max_flow(), b.max_flow());
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.flow, y.flow);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn opt_is_stable_across_roundtrip() {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 900.0, 200, 12).generate();
+    let dir = std::env::temp_dir().join("parflow_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bing.json");
+    save_instance(&inst, &path).unwrap();
+    let loaded = load_instance(&path).unwrap();
+    assert_eq!(opt_max_flow(&inst, 16), opt_max_flow(&loaded, 16));
+    std::fs::remove_file(&path).unwrap();
+}

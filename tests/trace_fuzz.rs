@@ -1,0 +1,137 @@
+//! Failure injection: corrupt real schedule traces in targeted ways and
+//! assert the independent validator catches every corruption. This guards
+//! the guard — a validator that silently accepts broken schedules would
+//! void all the property tests built on it.
+
+use parflow::core::{run_priority, run_worksteal, Action, Fifo, SimConfig, StealPolicy};
+use parflow::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn traced_run(seed: u64) -> (Instance, parflow::core::ScheduleTrace) {
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 2000.0, 40, seed).generate();
+    let (_, trace) = run_worksteal(
+        &inst,
+        &SimConfig::new(3).with_trace(),
+        StealPolicy::StealKFirst { k: 2 },
+        seed,
+    );
+    (inst, trace.unwrap())
+}
+
+/// Indices of all Work actions in the trace.
+fn work_positions(trace: &parflow::core::ScheduleTrace) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (r, row) in trace.rounds.iter().enumerate() {
+        for (p, a) in row.iter().enumerate() {
+            if matches!(a, Action::Work { .. }) {
+                out.push((r, p));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn dropping_any_work_unit_is_caught() {
+    for seed in [1u64, 2, 3] {
+        let (inst, trace) = traced_run(seed);
+        assert_eq!(trace.validate(&inst), Ok(()));
+        let positions = work_positions(&trace);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Drop 10 random work units; each must break work conservation.
+        for _ in 0..10 {
+            let (r, p) = positions[rng.gen_range(0..positions.len())];
+            let mut corrupted = trace.clone();
+            corrupted.rounds[r][p] = Action::Idle;
+            assert!(
+                corrupted.validate(&inst).is_err(),
+                "dropping work at round {r} proc {p} must be detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicating_work_after_completion_is_caught() {
+    for seed in [4u64, 5] {
+        let (inst, trace) = traced_run(seed);
+        let positions = work_positions(&trace);
+        // Re-execute the LAST work action of the trace in an appended round:
+        // that node is already complete, so this must over-execute.
+        let &(r, p) = positions.last().unwrap();
+        let dup = trace.rounds[r][p];
+        let mut corrupted = trace.clone();
+        let mut row = vec![Action::Idle; corrupted.m];
+        row[0] = dup;
+        corrupted.rounds.push(row);
+        assert!(
+            corrupted.validate(&inst).is_err(),
+            "duplicated terminal work unit must be detected"
+        );
+    }
+}
+
+#[test]
+fn retargeting_to_unknown_job_is_caught() {
+    let (inst, trace) = traced_run(7);
+    let positions = work_positions(&trace);
+    let (r, p) = positions[positions.len() / 2];
+    let mut corrupted = trace.clone();
+    corrupted.rounds[r][p] = Action::Work {
+        job: inst.len() as u32 + 5,
+        node: 0,
+    };
+    assert!(corrupted.validate(&inst).is_err());
+}
+
+#[test]
+fn moving_work_before_arrival_is_caught() {
+    // Find a job that arrives late, then prepend a round executing it at
+    // time zero.
+    let (inst, trace) = traced_run(11);
+    let late_job = inst
+        .jobs()
+        .iter()
+        .find(|j| j.arrival > 2)
+        .expect("some job arrives after tick 2");
+    let mut corrupted = trace.clone();
+    let mut row = vec![Action::Idle; corrupted.m];
+    row[0] = Action::Work {
+        job: late_job.id,
+        node: late_job.dag.sources()[0],
+    };
+    corrupted.rounds.insert(0, row);
+    // The prepended unit runs before the job arrived (and the trace now
+    // also over-executes that node) — either way, validation must fail.
+    assert!(corrupted.validate(&inst).is_err());
+}
+
+#[test]
+fn reordering_chain_execution_is_caught() {
+    // Deterministic construction: a 2-node chain executed in the wrong
+    // order on one processor.
+    use std::sync::Arc;
+    let dag = Arc::new(shapes::chain(2, 1));
+    let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+    let (_, trace) = run_priority(&inst, &SimConfig::new(1).with_trace(), &Fifo);
+    let trace = trace.unwrap();
+    assert_eq!(trace.validate(&inst), Ok(()));
+    let mut corrupted = trace.clone();
+    // Swap the two work rounds.
+    corrupted.rounds.swap(0, 1);
+    assert!(corrupted.validate(&inst).is_err());
+}
+
+#[test]
+fn truncating_the_tail_is_caught() {
+    let (inst, trace) = traced_run(13);
+    let mut corrupted = trace.clone();
+    // Remove trailing rounds until we have removed at least one Work action.
+    let mut removed_work = false;
+    while !removed_work {
+        let row = corrupted.rounds.pop().expect("trace non-empty");
+        removed_work = row.iter().any(|a| matches!(a, Action::Work { .. }));
+    }
+    assert!(corrupted.validate(&inst).is_err());
+}
