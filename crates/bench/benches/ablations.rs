@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
     println!("== l_k norms / stretch ==");
     println!("{}", norms::table(&norms::run(4_000, 7)).render());
     println!("== backlog dynamics ==");
-    println!("{}", backlog::table(&backlog::run(1200.0, 4_000, 7)).render());
+    println!(
+        "{}",
+        backlog::table(&backlog::run(1200.0, 4_000, 7)).render()
+    );
 
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
@@ -48,15 +51,22 @@ fn bench(c: &mut Criterion) {
         ("lb_uniform_free", SimConfig::new(40).with_free_steals()),
     ] {
         g.bench_with_input(BenchmarkId::new("victim", name), &lb, |b, lb| {
-            b.iter(|| simulate_worksteal(black_box(lb), &cfg, StealPolicy::AdmitFirst, 3).max_flow())
+            b.iter(|| {
+                simulate_worksteal(black_box(lb), &cfg, StealPolicy::AdmitFirst, 3).max_flow()
+            })
         });
     }
     g.bench_function("sampled_backlog_run", |b| {
         let cfg = SimConfig::new(16).with_free_steals().with_sampling(64);
         b.iter(|| {
-            simulate_worksteal(black_box(&inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 7)
-                .samples
-                .len()
+            simulate_worksteal(
+                black_box(&inst),
+                &cfg,
+                StealPolicy::StealKFirst { k: 16 },
+                7,
+            )
+            .samples
+            .len()
         })
     });
     g.finish();

@@ -24,15 +24,25 @@ fn bench(c: &mut Criterion) {
     g.bench_function("worksteal_unit_cost_units_per_sec", |b| {
         let cfg = SimConfig::new(16);
         b.iter(|| {
-            simulate_worksteal(black_box(&inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 1)
-                .max_flow()
+            simulate_worksteal(
+                black_box(&inst),
+                &cfg,
+                StealPolicy::StealKFirst { k: 16 },
+                1,
+            )
+            .max_flow()
         })
     });
     g.bench_function("worksteal_free_units_per_sec", |b| {
         let cfg = SimConfig::new(16).with_free_steals();
         b.iter(|| {
-            simulate_worksteal(black_box(&inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 1)
-                .max_flow()
+            simulate_worksteal(
+                black_box(&inst),
+                &cfg,
+                StealPolicy::StealKFirst { k: 16 },
+                1,
+            )
+            .max_flow()
         })
     });
     g.finish();
@@ -61,7 +71,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("trace_validate_small", |b| {
         let dag = Arc::new(shapes::diamond(4, 2));
-        let jobs: Vec<Job> = (0..50).map(|i| Job::new(i, i as u64 * 3, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| Job::new(i, i as u64 * 3, dag.clone()))
+            .collect();
         let small = Instance::new(jobs);
         let (_, trace) = run_priority(&small, &SimConfig::new(4).with_trace(), &Fifo);
         let trace = trace.unwrap();

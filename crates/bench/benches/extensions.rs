@@ -9,13 +9,25 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n== machine scaling ==");
-    println!("{}", scaling::table(&scaling::run(&[4, 16, 64], 4_000, 7)).render());
+    println!(
+        "{}",
+        scaling::table(&scaling::run(&[4, 16, 64], 4_000, 7)).render()
+    );
     println!("== seed variance ==");
-    println!("{}", variance::table(&variance::run(1100.0, 4_000, 6, 7)).render());
+    println!(
+        "{}",
+        variance::table(&variance::run(1100.0, 4_000, 6, 7)).render()
+    );
     println!("== steal amount ==");
-    println!("{}", steal_amount::table(&steal_amount::run(&[800.0], 4_000, 7)).render());
+    println!(
+        "{}",
+        steal_amount::table(&steal_amount::run(&[800.0], 4_000, 7)).render()
+    );
     println!("== distributed BWF ==");
-    println!("{}", weighted_ws::table(&weighted_ws::run(&[1000.0], 4_000, 7)).render());
+    println!(
+        "{}",
+        weighted_ws::table(&weighted_ws::run(&[1000.0], 4_000, 7)).render()
+    );
 
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
@@ -28,7 +40,9 @@ fn bench(c: &mut Criterion) {
         ("fifo_admission", SimConfig::new(16).with_free_steals()),
         (
             "weighted_admission",
-            SimConfig::new(16).with_free_steals().with_weighted_admission(),
+            SimConfig::new(16)
+                .with_free_steals()
+                .with_weighted_admission(),
         ),
         (
             "half_steals",
@@ -37,13 +51,8 @@ fn bench(c: &mut Criterion) {
     ] {
         g.bench_with_input(BenchmarkId::new("ws", name), &inst, |b, inst| {
             b.iter(|| {
-                simulate_worksteal(
-                    black_box(inst),
-                    &cfg,
-                    StealPolicy::StealKFirst { k: 16 },
-                    7,
-                )
-                .max_weighted_flow()
+                simulate_worksteal(black_box(inst), &cfg, StealPolicy::StealKFirst { k: 16 }, 7)
+                    .max_weighted_flow()
             })
         });
     }

@@ -20,14 +20,10 @@ fn bench(c: &mut Criterion) {
         ("admit_first", RtPolicy::AdmitFirst),
         ("steal_16_first", RtPolicy::StealKFirst { k: 16 }),
     ] {
-        g.bench_with_input(
-            BenchmarkId::new(name, workers),
-            &workload,
-            |b, workload| {
-                let cfg = RuntimeConfig::new(workers, policy);
-                b.iter(|| run_workload(&cfg, workload).max_flow())
-            },
-        );
+        g.bench_with_input(BenchmarkId::new(name, workers), &workload, |b, workload| {
+            let cfg = RuntimeConfig::new(workers, policy);
+            b.iter(|| run_workload(&cfg, workload).max_flow())
+        });
     }
     g.finish();
 }

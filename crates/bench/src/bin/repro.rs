@@ -8,15 +8,15 @@
 //! `lower-bound`, `theory-fifo`, `theory-ws`, `theory-bwf`, `steal-k`,
 //! `intervals`, `victim-ablation`, `equi`, `norms`, `grain`, `burst`,
 //! `backlog`, `lemmas`, `scaling`, `variance`, `steal-amount`,
-//! `weighted-ws`, or `all` (default).
+//! `weighted-ws`, `fault-resilience`, or `all` (default).
 //!
 //! Flags: `--csv DIR` persists every table as CSV. Environment:
 //! `PARFLOW_JOBS=100000` for paper-scale runs, `PARFLOW_SEED` to reseed.
 
 use parflow_bench::experiments::{
-    backlog, base_seed, burst, equi_ablation, fig2, fig3, grain, intervals, jobs_per_point,
-    lemma_audit, lower_bound, norms, scaling, steal_amount, steal_k, theory_bwf, theory_fifo,
-    theory_ws, variance, victim_ablation, weighted_ws,
+    backlog, base_seed, burst, equi_ablation, fault_resilience, fig2, fig3, grain, intervals,
+    jobs_per_point, lemma_audit, lower_bound, norms, scaling, steal_amount, steal_k, theory_bwf,
+    theory_fifo, theory_ws, variance, victim_ablation, weighted_ws,
 };
 use parflow_bench::Reporter;
 use parflow_workloads::DistKind;
@@ -35,7 +35,10 @@ fn run_fig2(dist: DistKind, panel: &str, reporter: &Reporter) {
     ));
     let points = fig2::run(dist, base_seed());
     reporter
-        .emit(&format!("fig2_{}", dist.name()), &fig2::table(dist, &points))
+        .emit(
+            &format!("fig2_{}", dist.name()),
+            &fig2::table(dist, &points),
+        )
         .expect("csv write");
     println!("expected shape: OPT <= steal-16-first << admit-first, gap grows with QPS");
 }
@@ -73,92 +76,140 @@ fn main() {
     if want("lower-bound") {
         banner("Lemma 5.1: work stealing is Omega(log n)-competitive");
         let pts = lower_bound::run(&lower_bound::default_ms(), 200_000, seed);
-        reporter.emit("lower_bound", &lower_bound::table(&pts)).expect("csv write");
+        reporter
+            .emit("lower_bound", &lower_bound::table(&pts))
+            .expect("csv write");
         println!("expected shape: WS max flow grows ~m/10 with m = Theta(log n); FIFO stays ~2");
     }
     if want("theory-fifo") {
         banner("Theorem 3.1: FIFO with (1+eps) speed is (3/eps)-competitive");
         let pts = theory_fifo::run(jobs_per_point().min(20_000), seed);
-        reporter.emit("theory_fifo", &theory_fifo::table(&pts)).expect("csv write");
+        reporter
+            .emit("theory_fifo", &theory_fifo::table(&pts))
+            .expect("csv write");
     }
     if want("theory-ws") {
         banner("Theorem 4.1: steal-k-first with (k+1+eps) speed, normalized flow");
         let pts = theory_ws::run(&[0, 2, 16], &[2_000, 8_000, 32_000], seed);
-        reporter.emit("theory_ws", &theory_ws::table(&pts)).expect("csv write");
+        reporter
+            .emit("theory_ws", &theory_ws::table(&pts))
+            .expect("csv write");
     }
     if want("theory-bwf") {
         banner("Theorem 7.1: BWF with (1+eps) speed is (3/eps^2)-competitive (weighted)");
         let pts = theory_bwf::run(jobs_per_point().min(20_000), 1_000, seed);
-        reporter.emit("theory_bwf", &theory_bwf::table(&pts)).expect("csv write");
+        reporter
+            .emit("theory_bwf", &theory_bwf::table(&pts))
+            .expect("csv write");
     }
     if want("steal-k") {
         banner("Ablation: steal-k-first parameter sweep (Bing workload)");
         let pts = steal_k::run(&steal_k::default_ks(), &[800.0, 1000.0, 1200.0], seed);
-        reporter.emit("steal_k", &steal_k::table(&pts)).expect("csv write");
+        reporter
+            .emit("steal_k", &steal_k::table(&pts))
+            .expect("csv write");
         println!("expected shape: larger k approaches OPT; k=0 degrades at high QPS");
     }
     if want("victim-ablation") {
         banner("Ablation: victim selection vs the Lemma 5.1 lower bound");
         let pts = victim_ablation::run(&[20, 40, 60, 80], 150_000, seed);
-        reporter.emit("victim_ablation", &victim_ablation::table(&pts)).expect("csv write");
+        reporter
+            .emit("victim_ablation", &victim_ablation::table(&pts))
+            .expect("csv write");
         println!("expected shape: random victims degrade ~m/10; scanning collapses to O(1)");
     }
     if want("equi") {
         banner("Ablation: EQUI (processor sharing) vs FIFO for max flow");
         let pts = equi_ablation::run(&[800.0, 1000.0, 1200.0], jobs_per_point().min(20_000), seed);
-        reporter.emit("equi_ablation", &equi_ablation::table(&pts)).expect("csv write");
+        reporter
+            .emit("equi_ablation", &equi_ablation::table(&pts))
+            .expect("csv write");
         println!("expected shape: EQUI's max-flow gap to FIFO grows with load");
     }
     if want("norms") {
         banner("Extension: l_k norms of flow time and maximum stretch");
         let pts = norms::run(jobs_per_point().min(20_000), seed);
-        reporter.emit("norms", &norms::table(&pts)).expect("csv write");
+        reporter
+            .emit("norms", &norms::table(&pts))
+            .expect("csv write");
     }
     if want("grain") {
         banner("Ablation: parallel-for chunk granularity (steal-16-first)");
-        let pts = grain::run(&grain::default_grains(), 1100.0, jobs_per_point().min(20_000), seed);
-        reporter.emit("grain", &grain::table(&pts)).expect("csv write");
+        let pts = grain::run(
+            &grain::default_grains(),
+            1100.0,
+            jobs_per_point().min(20_000),
+            seed,
+        );
+        reporter
+            .emit("grain", &grain::table(&pts))
+            .expect("csv write");
         println!("expected shape: a U-curve — too-fine grains flood deques and delay admissions,");
         println!("too-coarse grains raise span; the sweet spot sits near ~1-3 ms chunks");
     }
     if want("burst") {
         banner("Robustness: bursty arrivals at fixed average load");
         let pts = burst::run(&burst::default_bursts(), jobs_per_point().min(20_000), seed);
-        reporter.emit("burst", &burst::table(&pts)).expect("csv write");
+        reporter
+            .emit("burst", &burst::table(&pts))
+            .expect("csv write");
         println!("expected shape: everyone degrades with burst size; admit-first fastest");
     }
     if want("scaling") {
         banner("Extension: machine-size scaling at fixed 65% utilization (Bing)");
         let pts = scaling::run(&scaling::default_ms(), jobs_per_point().min(20_000), seed);
-        reporter.emit("scaling", &scaling::table(&pts)).expect("csv write");
+        reporter
+            .emit("scaling", &scaling::table(&pts))
+            .expect("csv write");
         println!("expected shape: steal-16 tracks OPT at every m; admit-first gap persists");
     }
     if want("variance") {
         banner("Extension: max-flow variance across seeds (w.h.p. in practice)");
         let pts = variance::run(1100.0, jobs_per_point().min(20_000), 10, seed);
-        reporter.emit("variance", &variance::table(&pts)).expect("csv write");
+        reporter
+            .emit("variance", &variance::table(&pts))
+            .expect("csv write");
     }
     if want("steal-amount") {
         banner("Ablation: steal-one vs steal-half transfer granularity (unit-cost steals)");
         let pts = steal_amount::run(&[800.0, 1000.0, 1200.0], jobs_per_point().min(20_000), seed);
-        reporter.emit("steal_amount", &steal_amount::table(&pts)).expect("csv write");
+        reporter
+            .emit("steal_amount", &steal_amount::table(&pts))
+            .expect("csv write");
     }
     if want("weighted-ws") {
         banner("Extension: distributed BWF (weight-ordered admission) vs centralized BWF");
         let pts = weighted_ws::run(&[800.0, 1000.0, 1200.0], jobs_per_point().min(20_000), seed);
-        reporter.emit("weighted_ws", &weighted_ws::table(&pts)).expect("csv write");
+        reporter
+            .emit("weighted_ws", &weighted_ws::table(&pts))
+            .expect("csv write");
         println!("expected shape: weighted admission helps in backlog episodes, but");
         println!("preemptive BWF wins consistently; see module docs for the analysis");
+    }
+    if want("fault-resilience") {
+        banner("Robustness: admit-first vs steal-16-first under injected faults (QPS 1000)");
+        let pts = fault_resilience::run(&fault_resilience::default_levels(), 1000.0, seed);
+        reporter
+            .emit("fault_resilience", &fault_resilience::table(&pts))
+            .expect("csv write");
+        println!("expected shape: both policies degrade smoothly as workers crash/slow;");
+        println!(
+            "crashed deques are reinjected, so no completed job is lost — only panics fail jobs"
+        );
     }
     if want("lemmas") {
         banner("Lemma audit: proof-level quantities measured on real schedules");
         let a = lemma_audit::run(jobs_per_point().min(10_000), seed);
-        reporter.emit("lemma_audit", &lemma_audit::table(&a)).expect("csv write");
+        reporter
+            .emit("lemma_audit", &lemma_audit::table(&a))
+            .expect("csv write");
     }
     if want("backlog") {
         banner("Diagnostic: backlog dynamics, admit-first vs steal-16-first (QPS 1200)");
         let pts = backlog::run(1200.0, jobs_per_point().min(20_000), seed);
-        reporter.emit("backlog", &backlog::table(&pts)).expect("csv write");
+        reporter
+            .emit("backlog", &backlog::table(&pts))
+            .expect("csv write");
         println!("mechanism: admit-first opens jobs eagerly (high live count, slow each);");
         println!("steal-16-first queues them and drains admitted jobs with parallelism");
     }
@@ -175,7 +226,9 @@ fn main() {
                     a.beta(),
                     a.t_prime.to_f64()
                 );
-                reporter.emit("intervals", &intervals::table(&a)).expect("csv write");
+                reporter
+                    .emit("intervals", &intervals::table(&a))
+                    .expect("csv write");
             }
             None => println!("empty instance"),
         }

@@ -68,14 +68,9 @@ pub fn run(bursts: &[usize], n_jobs: usize, seed: u64) -> Vec<BurstPoint> {
             BurstPoint {
                 burst,
                 fifo_ms: simulate_fifo(&inst, &cfg).max_flow().to_f64() * to_ms,
-                steal_ms: simulate_worksteal(
-                    &inst,
-                    &cfg,
-                    StealPolicy::StealKFirst { k: 16 },
-                    seed,
-                )
-                .max_flow()
-                .to_f64()
+                steal_ms: simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, seed)
+                    .max_flow()
+                    .to_f64()
                     * to_ms,
                 admit_ms: simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed)
                     .max_flow()

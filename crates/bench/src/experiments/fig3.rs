@@ -56,7 +56,11 @@ mod tests {
         // First bin (0–10 ms) holds the 5 ms mode: > 50 % of mass.
         assert!(probs[0].1 > 0.5, "first-bin mass {}", probs[0].1);
         // Tail reaches past 100 ms.
-        let tail: f64 = probs.iter().filter(|&&(c, _)| c > 100.0).map(|&(_, p)| p).sum();
+        let tail: f64 = probs
+            .iter()
+            .filter(|&&(c, _)| c > 100.0)
+            .map(|&(_, p)| p)
+            .sum();
         assert!(tail > 0.0, "expected mass past 100 ms");
     }
 
@@ -70,9 +74,16 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
             .unwrap();
-        assert!(argmax >= 1, "finance mode should be interior, got bin {argmax}");
+        assert!(
+            argmax >= 1,
+            "finance mode should be interior, got bin {argmax}"
+        );
         // Support ends by 52 ms (the 52 ms bin is centered at 54).
-        let beyond: f64 = probs.iter().filter(|&&(c, _)| c > 54.5).map(|&(_, p)| p).sum();
+        let beyond: f64 = probs
+            .iter()
+            .filter(|&&(c, _)| c > 54.5)
+            .map(|&(_, p)| p)
+            .sum();
         assert_eq!(beyond, 0.0);
     }
 

@@ -46,8 +46,8 @@ pub fn run(grains: &[u64], qps: f64, n_jobs: usize, seed: u64) -> Vec<GrainPoint
                 seed,
             };
             let inst = spec.generate();
-            let mean_span = inst.jobs().iter().map(|j| j.span() as f64).sum::<f64>()
-                / inst.len().max(1) as f64;
+            let mean_span =
+                inst.jobs().iter().map(|j| j.span() as f64).sum::<f64>() / inst.len().max(1) as f64;
             let flow = simulate_worksteal(
                 &inst,
                 &cfg,

@@ -10,8 +10,8 @@
 
 use super::PAPER_M;
 use parflow_core::{
-    check_greedy_nonfull_bound, interval_accounting, run_priority, run_worksteal,
-    ws_idling_report, Fifo, RoundActivity, SimConfig, StealPolicy,
+    check_greedy_nonfull_bound, interval_accounting, run_priority, run_worksteal, ws_idling_report,
+    Fifo, RoundActivity, SimConfig, StealPolicy,
 };
 use parflow_metrics::Table;
 use parflow_time::Rational;
@@ -58,8 +58,8 @@ pub fn run(n_jobs: usize, seed: u64) -> LemmaAudit {
     let (ws_r, ws_t) = run_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 16 }, seed);
     let ws_t = ws_t.expect("trace recorded");
     let idling = ws_idling_report(&inst, &ws_r, &ws_t);
-    let acc = interval_accounting(&inst, &ws_r, &ws_t, Rational::new(1, 10))
-        .expect("non-empty instance");
+    let acc =
+        interval_accounting(&inst, &ws_r, &ws_t, Rational::new(1, 10)).expect("non-empty instance");
 
     LemmaAudit {
         fifo_nonfull_worst,

@@ -6,6 +6,7 @@
 pub mod backlog;
 pub mod burst;
 pub mod equi_ablation;
+pub mod fault_resilience;
 pub mod fig2;
 pub mod fig3;
 pub mod grain;

@@ -10,7 +10,9 @@
 //! trade-off that motivates studying the whole ℓ_k family.
 
 use super::PAPER_M;
-use parflow_core::{simulate_equi, simulate_fifo, simulate_worksteal, SimConfig, StealPolicy, SimResult};
+use parflow_core::{
+    simulate_equi, simulate_fifo, simulate_worksteal, SimConfig, SimResult, StealPolicy,
+};
 use parflow_dag::Instance;
 use parflow_metrics::{lk_norm, max_stretch, Table};
 use parflow_time::Rational;
@@ -104,7 +106,10 @@ mod tests {
             // ℓ_k is non-increasing in k and all values positive.
             assert!(p.l1 >= p.l2 && p.l2 >= p.linf, "{p:?}");
             assert!(p.linf > 0.0);
-            assert!(p.stretch_work > 0.0 && p.stretch_span >= p.stretch_work, "{p:?}");
+            assert!(
+                p.stretch_work > 0.0 && p.stretch_span >= p.stretch_work,
+                "{p:?}"
+            );
         }
     }
 

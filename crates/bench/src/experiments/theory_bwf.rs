@@ -9,10 +9,10 @@
 
 use super::PAPER_M;
 use parflow_core::{opt_weighted_lower_bound, simulate_bwf, simulate_fifo, SimConfig};
+use parflow_dag::{Instance, Job};
 use parflow_metrics::Table;
 use parflow_time::Speed;
 use parflow_workloads::{DistKind, ShapeKind, WorkloadSpec};
-use parflow_dag::{Instance, Job};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};

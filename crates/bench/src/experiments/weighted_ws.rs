@@ -27,9 +27,9 @@ use super::{PAPER_K, PAPER_M};
 use parflow_core::{
     opt_weighted_lower_bound, simulate_bwf, simulate_worksteal, SimConfig, StealPolicy,
 };
+use parflow_dag::{Instance, Job};
 use parflow_metrics::Table;
 use parflow_workloads::{DistKind, ShapeKind, WorkloadSpec, TICKS_PER_SECOND};
-use parflow_dag::{Instance, Job};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};

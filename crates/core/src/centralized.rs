@@ -10,6 +10,7 @@
 //! work stealing (Section 4).
 
 use crate::config::SimConfig;
+use crate::fault::JobStatus;
 use crate::result::{EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
 use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, UnitOutcome};
@@ -162,7 +163,9 @@ pub fn run_priority<P: JobPriority>(
             if avail == 0 {
                 break;
             }
-            let cursor = cursors[jid as usize].as_mut().expect("active job has cursor");
+            let cursor = cursors[jid as usize]
+                .as_mut()
+                .expect("active job has cursor");
             ready_buf.clear();
             ready_buf.extend_from_slice(cursor.ready_nodes());
             // Deterministic choice of the "arbitrary set of ready nodes".
@@ -180,7 +183,10 @@ pub fn run_priority<P: JobPriority>(
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
             let cursor = cursors[jid as usize].as_mut().expect("cursor");
-            match cursor.execute_unit(&job.dag, v).expect("claimed node executes") {
+            match cursor
+                .execute_unit(&job.dag, v)
+                .expect("claimed node executes")
+            {
                 UnitOutcome::InProgress => {
                     cursor.release(v).expect("in-progress node releases");
                 }
@@ -200,6 +206,7 @@ pub fn run_priority<P: JobPriority>(
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
+                            status: JobStatus::Completed,
                         });
                         completed += 1;
                     }
@@ -234,6 +241,7 @@ pub fn run_priority<P: JobPriority>(
         outcomes,
         stats,
         samples: Vec::new(),
+        fault_events: Vec::new(),
     };
     let trace = config.record_trace.then_some(ScheduleTrace {
         m,
@@ -393,7 +401,9 @@ mod tests {
         let inst = seq_jobs(&[(0, 4), (3, 5), (7, 2)]);
         let (_, trace) = run_priority(
             &inst,
-            &SimConfig::new(2).with_speed(Speed::new(11, 10)).with_trace(),
+            &SimConfig::new(2)
+                .with_speed(Speed::new(11, 10))
+                .with_trace(),
             &Fifo,
         );
         assert!(trace.unwrap().validate(&inst).is_ok());

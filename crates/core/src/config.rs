@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::fault::FaultPlan;
 use parflow_time::Speed;
 use serde::{Deserialize, Serialize};
 
@@ -77,7 +78,10 @@ pub enum AdmissionOrder {
 }
 
 /// Configuration of one simulated machine run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Not `Copy`: the fault plan owns heap-allocated fault lists. Clone it
+/// explicitly where a second copy is needed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of identical processors `m`.
     pub m: usize,
@@ -98,6 +102,10 @@ pub struct SimConfig {
     pub steal_amount: StealAmount,
     /// Global-queue admission order (work stealing only).
     pub admission: AdmissionOrder,
+    /// Faults to inject (crashes, slowdowns, stalls, blackholes, task
+    /// panics). Empty by default; see [`FaultPlan`].
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -113,6 +121,7 @@ impl SimConfig {
             sample_every: 0,
             steal_amount: StealAmount::One,
             admission: AdmissionOrder::Fifo,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -158,6 +167,14 @@ impl SimConfig {
     /// (distributed Biggest-Weight-First).
     pub fn with_weighted_admission(mut self) -> Self {
         self.admission = AdmissionOrder::ByWeight;
+        self
+    }
+
+    /// Inject the given faults. The plan is validated against `m` at
+    /// engine start, not here, so a config can be built before the
+    /// machine size is final.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

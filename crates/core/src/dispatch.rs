@@ -150,7 +150,11 @@ mod tests {
 
     fn tiny_instance() -> Instance {
         let dag = Arc::new(shapes::parallel_for(12, 3));
-        Instance::new((0..6).map(|i| Job::new(i, i as u64 * 2, dag.clone())).collect())
+        Instance::new(
+            (0..6)
+                .map(|i| Job::new(i, i as u64 * 2, dag.clone()))
+                .collect(),
+        )
     }
 
     #[test]
@@ -175,7 +179,10 @@ mod tests {
 
     #[test]
     fn parse_variants() {
-        assert_eq!("FIFO".parse::<SchedulerKind>().unwrap(), SchedulerKind::Fifo);
+        assert_eq!(
+            "FIFO".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Fifo
+        );
         assert_eq!(
             "steal-32-first".parse::<SchedulerKind>().unwrap(),
             SchedulerKind::StealKFirst(32)

@@ -13,6 +13,7 @@
 //! bench `ablations`) quantifies exactly that.
 
 use crate::config::SimConfig;
+use crate::fault::JobStatus;
 use crate::result::{EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
 use parflow_dag::{DagCursor, Instance, JobId, NodeId, UnitOutcome};
@@ -137,6 +138,7 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
+                            status: JobStatus::Completed,
                         });
                         completed += 1;
                     }
@@ -170,6 +172,7 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
             outcomes,
             stats,
             samples: Vec::new(),
+            fault_events: Vec::new(),
         },
         config.record_trace.then_some(ScheduleTrace {
             m,
@@ -268,7 +271,9 @@ mod tests {
     #[test]
     fn trace_validates() {
         let dag = Arc::new(shapes::fork_join(3, 2));
-        let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, i as u64 * 3, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(i, i as u64 * 3, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         let (r, trace) = run_equi(&inst, &SimConfig::new(3).with_trace());
         let trace = trace.unwrap();

@@ -79,7 +79,11 @@ mod tests {
 
     fn small_instance() -> Instance {
         let dag = Arc::new(shapes::diamond(3, 2));
-        Instance::new((0..3).map(|i| Job::new(i, i as u64 * 2, dag.clone())).collect())
+        Instance::new(
+            (0..3)
+                .map(|i| Job::new(i, i as u64 * 2, dag.clone()))
+                .collect(),
+        )
     }
 
     #[test]

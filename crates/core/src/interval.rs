@@ -68,7 +68,10 @@ pub struct IntervalAnalysis {
 impl IntervalAnalysis {
     /// `t_β`, the start of the earliest recursive interval.
     pub fn t_beta(&self) -> Rational {
-        self.intervals.first().map(|iv| iv.start).unwrap_or(self.arrival)
+        self.intervals
+            .first()
+            .map(|iv| iv.start)
+            .unwrap_or(self.arrival)
     }
 
     /// Number of recursively defined intervals (excluding `[r_i, c_i]`).
@@ -137,7 +140,10 @@ pub fn analyze_intervals(result: &SimResult, epsilon: Rational) -> Option<Interv
     // Recursive construction: stop once an interval has length ≤ ε·F_i
     // (the paper stops when `t_{a−1} − t_a ≤ ε F_i`).
     loop {
-        let last_len = intervals.last().map(|iv| iv.len()).unwrap_or(Rational::ZERO);
+        let last_len = intervals
+            .last()
+            .map(|iv| iv.len())
+            .unwrap_or(Rational::ZERO);
         if intervals.len() > 1 && last_len <= eps_flow {
             break;
         }

@@ -227,9 +227,7 @@ pub fn interval_accounting(
     let available: u64 = result
         .outcomes
         .iter()
-        .filter(|o| {
-            Rational::from_int(o.arrival as i128) <= c_i && o.completion >= t_beta
-        })
+        .filter(|o| Rational::from_int(o.arrival as i128) <= c_i && o.completion >= t_beta)
         .map(|o| instance.jobs()[o.job as usize].work())
         .sum();
 
@@ -276,10 +274,7 @@ mod tests {
         assert_eq!(act.rounds(), trace.rounds.len());
         let total_work: u64 = act.work.iter().map(|&w| w as u64).sum();
         assert_eq!(total_work, result.stats.work_steps);
-        assert_eq!(
-            act.work_in(0, act.rounds() as u64),
-            result.stats.work_steps
-        );
+        assert_eq!(act.work_in(0, act.rounds() as u64), result.stats.work_steps);
         // Range queries are consistent with full sums.
         let half = act.rounds() as u64 / 2;
         assert_eq!(

@@ -73,6 +73,7 @@ mod centralized;
 mod config;
 mod dispatch;
 mod equi;
+mod fault;
 mod gantt;
 mod interval;
 mod lemmas;
@@ -88,6 +89,10 @@ pub use centralized::{
 pub use config::{AdmissionOrder, SimConfig, StealAmount, StealCost, VictimStrategy};
 pub use dispatch::{ParseSchedulerError, SchedulerKind};
 pub use equi::{run_equi, simulate_equi};
+pub use fault::{
+    CrashFault, FaultEvent, FaultKind, FaultPlan, JobStatus, PanicSampler, SlowdownFault,
+    SlowdownGate, StallFault, PPM,
+};
 pub use gantt::render_gantt;
 pub use interval::{analyze_intervals, Interval, IntervalAnalysis};
 pub use lemmas::{

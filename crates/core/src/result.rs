@@ -1,5 +1,6 @@
 //! Per-run results: flow times and engine counters.
 
+use crate::fault::{FaultEvent, JobStatus};
 use parflow_dag::JobId;
 use parflow_time::{Rational, Round, Speed, Ticks};
 use serde::{Deserialize, Serialize};
@@ -23,6 +24,11 @@ pub struct JobOutcome {
     pub completion: Rational,
     /// Flow time `F_i = c_i − r_i`.
     pub flow: Rational,
+    /// How the job ended. [`JobStatus::Completed`] in fault-free runs; for
+    /// [`JobStatus::Failed`] / [`JobStatus::Aborted`] jobs the completion
+    /// fields record the moment the job was given up, not a real finish.
+    #[serde(default)]
+    pub status: JobStatus,
 }
 
 impl JobOutcome {
@@ -46,6 +52,18 @@ pub struct EngineStats {
     pub admissions: u64,
     /// Processor-rounds with nothing to do at all.
     pub idle_steps: u64,
+    /// Workers removed from service by injected crashes.
+    #[serde(default)]
+    pub crashed_workers: u64,
+    /// Tasks reinjected into the global queue from crashed workers' deques.
+    #[serde(default)]
+    pub reinjected_tasks: u64,
+    /// Executed tasks that failed via injected panics.
+    #[serde(default)]
+    pub injected_panics: u64,
+    /// Processor-rounds lost to injected stalls and slowdowns.
+    #[serde(default)]
+    pub faulted_steps: u64,
 }
 
 impl EngineStats {
@@ -86,6 +104,9 @@ pub struct SimResult {
     /// Backlog samples (non-empty only for work stealing with
     /// `SimConfig::with_sampling`).
     pub samples: Vec<BacklogSample>,
+    /// Faults that actually fired during the run, in engine-time order.
+    #[serde(default)]
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl SimResult {
@@ -135,6 +156,32 @@ impl SimResult {
             .unwrap_or(Rational::ZERO)
     }
 
+    /// True when every job ran to completion (no failures, no aborts).
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.status.is_completed())
+    }
+
+    /// Jobs that did not complete, with their terminal status.
+    pub fn unfinished(&self) -> Vec<(JobId, JobStatus)> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.status.is_completed())
+            .map(|o| (o.job, o.status))
+            .collect()
+    }
+
+    /// Maximum flow time over *completed* jobs only — the meaningful
+    /// objective under fault injection, where failed jobs' flows measure
+    /// time-to-failure rather than service quality.
+    pub fn max_completed_flow(&self) -> Rational {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status.is_completed())
+            .map(|o| o.flow)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
     /// Fraction of processor-rounds spent executing job work over the whole
     /// schedule (`work_steps / (m · total_rounds)`). Under the free-steal
     /// cost model steal *probes* consume no processor time, so they do not
@@ -161,6 +208,7 @@ mod tests {
             completion_round: 0,
             completion: Rational::from_int(arrival as i128) + Rational::from_int(flow),
             flow: Rational::from_int(flow),
+            status: JobStatus::Completed,
         }
     }
 
@@ -172,6 +220,7 @@ mod tests {
             outcomes,
             stats: EngineStats::default(),
             samples: Vec::new(),
+            fault_events: Vec::new(),
         }
     }
 
@@ -212,8 +261,21 @@ mod tests {
             successful_steals: 1,
             admissions: 2,
             idle_steps: 4,
+            ..Default::default()
         };
         assert_eq!(s.idling_steps(), 7);
+    }
+
+    #[test]
+    fn status_partitions() {
+        let mut o = vec![outcome(0, 0, 1, 4), outcome(1, 2, 1, 10)];
+        o[1].status = JobStatus::Failed;
+        let r = result(o);
+        assert!(!r.all_completed());
+        assert_eq!(r.unfinished(), vec![(1, JobStatus::Failed)]);
+        // Failed jobs are excluded from the completed-flow objective.
+        assert_eq!(r.max_completed_flow(), Rational::from_int(4));
+        assert_eq!(r.max_flow(), Rational::from_int(10));
     }
 
     #[test]

@@ -404,10 +404,7 @@ mod tests {
         let inst = Instance::new(vec![Job::new(0, 1, dag)]);
         let mut t = trace(
             1,
-            vec![
-                vec![Action::Idle],
-                vec![Action::Work { job: 0, node: 0 }],
-            ],
+            vec![vec![Action::Idle], vec![Action::Work { job: 0, node: 0 }]],
         );
         t.speed = Speed::integer(2);
         assert_eq!(

@@ -31,6 +31,7 @@
 //! deterministically).
 
 use crate::config::{AdmissionOrder, SimConfig, StealAmount, StealCost, VictimStrategy};
+use crate::fault::{FaultEvent, FaultKind, JobStatus, PanicSampler, SlowdownGate, PPM};
 use crate::result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
 use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, UnitOutcome};
@@ -113,6 +114,7 @@ fn steal_into(
     rng: &mut SmallRng,
     strategy: VictimStrategy,
     amount: StealAmount,
+    blackholed: &[bool],
 ) -> bool {
     let m = workers.len();
     if m <= 1 {
@@ -135,6 +137,10 @@ fn steal_into(
             v
         }
     };
+    // A blackholed victim consumes the attempt but never yields work.
+    if blackholed[victim] {
+        return false;
+    }
     if let Some(task) = workers[victim].deque.pop_front() {
         workers[p].current = Some(task);
         if amount == StealAmount::Half {
@@ -211,6 +217,10 @@ pub fn run_worksteal(
     let m = config.m;
     let speed = config.speed;
     let k = policy.k();
+    let faults = &config.faults;
+    if let Err(e) = faults.validate(m) {
+        panic!("invalid fault plan: {e}");
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
 
     let mut workers: Vec<Worker> = (0..m).map(Worker::new).collect();
@@ -222,9 +232,25 @@ pub fn run_worksteal(
     let mut trace_rounds: Vec<Vec<Action>> = Vec::new();
     let mut samples: Vec<BacklogSample> = Vec::new();
 
+    // Fault machinery. Orphaned tasks from crashed workers go into a
+    // global FIFO of their own: claimed-node state lives in the job's
+    // cursor, so an adopting worker resumes exactly where the dead one
+    // stopped without re-racing for the nodes.
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    let mut orphans: VecDeque<(JobId, NodeId)> = VecDeque::new();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut alive_count = m;
+    let mut was_stalled: Vec<bool> = vec![false; m];
+    let mut gates: Vec<SlowdownGate> = (0..m)
+        .map(|p| SlowdownGate::new(faults.rate_ppm_of(p)))
+        .collect();
+    let blackholed: Vec<bool> = (0..m).map(|p| faults.is_blackhole(p)).collect();
+    let sampler = PanicSampler::new(seed, faults.panic_ppm);
+
     let mut next_arrival = 0usize;
+    // Jobs that reached a terminal state (completed or failed).
     let mut completed = 0usize;
-    // Jobs admitted but not yet completed.
+    // Jobs admitted but not yet terminal.
     let mut live_admitted = 0usize;
     let mut round: Round = 0;
     let mut last_busy_round: Round = 0;
@@ -232,13 +258,90 @@ pub fn run_worksteal(
     // Rounds with admitted live work always execute ≥ 1 unit; rounds with
     // only queued jobs admit within ≤ k+1 rounds; quiescent gaps are
     // skipped. Anything past this cap is an engine bug.
-    let safety_cap: Round = speed.first_round_at_or_after(instance.last_arrival())
+    let mut safety_cap: Round = speed.first_round_at_or_after(instance.last_arrival())
         + instance.total_work()
         + (k as Round + 2) * (n as Round + m as Round)
         + 64;
+    if !faults.is_empty() {
+        // Stalls add dead rounds, slowdowns stretch execution by up to
+        // PPM/best_rate, and fault boundaries bound fast-forward clamping.
+        let stall_total: Round = faults.stalls.iter().map(|s| s.duration).sum();
+        let best_rate = (0..m)
+            .filter(|&p| faults.crash_round_of(p).is_none())
+            .map(|p| faults.rate_ppm_of(p))
+            .max()
+            .unwrap_or(PPM)
+            .max(1);
+        safety_cap = safety_cap * (PPM as Round).div_ceil(best_rate as Round)
+            + faults.last_scheduled_round().unwrap_or(0)
+            + stall_total
+            + 64;
+    }
+
+    // Next round strictly after `round` at which the plan changes some
+    // worker's behaviour; quiescent fast-forwards must not skip it.
+    let next_fault_boundary = |round: Round| -> Option<Round> {
+        let crash = faults
+            .crashes
+            .iter()
+            .map(|c| c.at_round)
+            .filter(|&r| r > round)
+            .min();
+        let stall = faults
+            .stalls
+            .iter()
+            .flat_map(|s| [s.from_round, s.from_round.saturating_add(s.duration)])
+            .filter(|&r| r > round)
+            .min();
+        crash.iter().chain(stall.iter()).copied().min()
+    };
 
     while completed < n {
-        assert!(round <= safety_cap, "work-stealing engine exceeded round cap");
+        assert!(
+            round <= safety_cap,
+            "work-stealing engine exceeded round cap"
+        );
+
+        // Crash pre-pass: workers whose crash round has come die at the
+        // start of the round; their current task and deque are reinjected
+        // into the global orphan FIFO for survivors to adopt.
+        for p in 0..m {
+            if alive[p] && faults.crash_round_of(p).is_some_and(|cr| cr <= round) {
+                alive[p] = false;
+                alive_count -= 1;
+                stats.crashed_workers += 1;
+                fault_events.push(FaultEvent {
+                    round,
+                    worker: Some(p),
+                    job: None,
+                    kind: FaultKind::Crash,
+                    detail: 0,
+                });
+                let mut reinjected = 0u64;
+                if let Some(task) = workers[p].current.take() {
+                    orphans.push_back(task);
+                    reinjected += 1;
+                }
+                while let Some(task) = workers[p].deque.pop_front() {
+                    orphans.push_back(task);
+                    reinjected += 1;
+                }
+                for task in workers[p].pending.drain(..) {
+                    orphans.push_back(task);
+                    reinjected += 1;
+                }
+                if reinjected > 0 {
+                    stats.reinjected_tasks += reinjected;
+                    fault_events.push(FaultEvent {
+                        round,
+                        worker: Some(p),
+                        job: None,
+                        kind: FaultKind::OrphanReinjection,
+                        detail: reinjected,
+                    });
+                }
+            }
+        }
 
         // Release arrivals into the global FIFO queue.
         while next_arrival < n && speed.arrived_by_round(jobs[next_arrival].arrival, round) {
@@ -251,21 +354,30 @@ pub fn run_worksteal(
                 round,
                 queued: global_queue.len(),
                 live: live_admitted,
-                deque_tasks: workers.iter().map(|w| w.deque.len()).sum(),
+                deque_tasks: workers.iter().map(|w| w.deque.len()).sum::<usize>() + orphans.len(),
             });
         }
 
         // Quiescent fast-forward: nothing admitted is live and nothing is
         // queued — skip to the next arrival. The skipped rounds would be
         // failed steal attempts; saturate every worker's failure counter.
-        if live_admitted == 0 && global_queue.is_empty() {
+        // Fault boundaries clamp the jump so crash/stall transitions still
+        // fire at their scheduled rounds.
+        if live_admitted == 0 && global_queue.is_empty() && orphans.is_empty() {
             debug_assert!(next_arrival < n, "deadlock: nothing live, nothing queued");
-            let target = speed.first_round_at_or_after(jobs[next_arrival].arrival);
+            let mut target = speed.first_round_at_or_after(jobs[next_arrival].arrival);
+            if let Some(boundary) = next_fault_boundary(round) {
+                target = target.min(boundary);
+            }
             debug_assert!(target > round, "fast-forward must move time forward");
             let gap = target - round;
-            stats.idle_steps += gap * m as u64;
-            for w in &mut workers {
-                w.failed_steals = w.failed_steals.saturating_add(gap.min(u32::MAX as u64) as u32);
+            stats.idle_steps += gap * alive_count as u64;
+            for (p, w) in workers.iter_mut().enumerate() {
+                if alive[p] {
+                    w.failed_steals = w
+                        .failed_steals
+                        .saturating_add(gap.min(u32::MAX as u64) as u32);
+                }
             }
             if config.record_trace {
                 for _ in 0..gap {
@@ -283,10 +395,58 @@ pub fn run_worksteal(
         };
 
         for p in 0..m {
-            // 1. Acquire work if idle: own deque → (policy) admit/steal.
+            // 0. Fault gates: dead workers do nothing; stalled workers
+            // freeze (their deques stay stealable); slowed workers only
+            // act in the rounds their credit gate opens.
+            if !alive[p] {
+                if config.record_trace {
+                    row.push(Action::Idle);
+                }
+                continue;
+            }
+            let stalled = faults.is_stalled(p, round);
+            if stalled != was_stalled[p] {
+                was_stalled[p] = stalled;
+                fault_events.push(FaultEvent {
+                    round,
+                    worker: Some(p),
+                    job: None,
+                    kind: if stalled {
+                        FaultKind::StallBegin
+                    } else {
+                        FaultKind::StallEnd
+                    },
+                    detail: 0,
+                });
+            }
+            if stalled {
+                stats.faulted_steps += 1;
+                if config.record_trace {
+                    row.push(Action::Idle);
+                }
+                continue;
+            }
+            if !gates[p].is_full_speed() && !gates[p].tick() {
+                stats.faulted_steps += 1;
+                if config.record_trace {
+                    row.push(Action::Idle);
+                }
+                continue;
+            }
+
+            // 1. Acquire work if idle: own deque → orphan FIFO →
+            //    (policy) admit/steal. Adopting an orphaned task is free,
+            //    like popping the own deque: the task was already claimed
+            //    by the crashed worker, no coordination is needed.
             if workers[p].current.is_none() {
                 if let Some(task) = workers[p].deque.pop_back() {
                     workers[p].current = Some(task);
+                }
+            }
+            if workers[p].current.is_none() {
+                if let Some(task) = orphans.pop_front() {
+                    workers[p].current = Some(task);
+                    workers[p].failed_steals = 0;
                 }
             }
             if workers[p].current.is_none() {
@@ -309,7 +469,14 @@ pub fn run_worksteal(
                             // Steal attempt: one full round; the stolen node
                             // (if any) starts executing next round.
                             stats.steal_attempts += 1;
-                            let hit = steal_into(p, &mut workers, &mut rng, config.victim, config.steal_amount);
+                            let hit = steal_into(
+                                p,
+                                &mut workers,
+                                &mut rng,
+                                config.victim,
+                                config.steal_amount,
+                                &blackholed,
+                            );
                             if hit {
                                 stats.successful_steals += 1;
                                 workers[p].failed_steals = 0;
@@ -339,7 +506,14 @@ pub fn run_worksteal(
                                 // Scan for stealable work.
                                 for _ in 0..2 * m.max(1) as u32 {
                                     stats.steal_attempts += 1;
-                                    if steal_into(p, &mut workers, &mut rng, config.victim, config.steal_amount) {
+                                    if steal_into(
+                                        p,
+                                        &mut workers,
+                                        &mut rng,
+                                        config.victim,
+                                        config.steal_amount,
+                                        &blackholed,
+                                    ) {
                                         stats.successful_steals += 1;
                                         break;
                                     }
@@ -348,7 +522,14 @@ pub fn run_worksteal(
                         } else {
                             for _ in 0..k {
                                 stats.steal_attempts += 1;
-                                if steal_into(p, &mut workers, &mut rng, config.victim, config.steal_amount) {
+                                if steal_into(
+                                    p,
+                                    &mut workers,
+                                    &mut rng,
+                                    config.victim,
+                                    config.steal_amount,
+                                    &blackholed,
+                                ) {
                                     stats.successful_steals += 1;
                                     break;
                                 }
@@ -381,15 +562,56 @@ pub fn run_worksteal(
             let cursor = cursors[jid as usize].as_mut().expect("admitted job");
             stats.work_steps += 1;
             workers[p].failed_steals = 0;
-            match cursor.execute_unit(&job.dag, v).expect("current node claimed") {
+            match cursor
+                .execute_unit(&job.dag, v)
+                .expect("current node claimed")
+            {
                 UnitOutcome::InProgress => {}
                 UnitOutcome::NodeCompleted {
                     newly_ready,
                     job_completed,
                 } => {
                     workers[p].current = None;
+                    if sampler.should_panic(jid, v) {
+                        // Injected task panic: the job fails and is
+                        // abandoned. Purge its tasks everywhere so no
+                        // worker touches the dead job again.
+                        stats.injected_panics += 1;
+                        fault_events.push(FaultEvent {
+                            round,
+                            worker: Some(p),
+                            job: Some(jid),
+                            kind: FaultKind::TaskPanic,
+                            detail: v as u64,
+                        });
+                        for w in workers.iter_mut() {
+                            w.deque.retain(|t| t.0 != jid);
+                            w.pending.retain(|t| t.0 != jid);
+                            if w.current.is_some_and(|t| t.0 == jid) {
+                                w.current = None;
+                            }
+                        }
+                        orphans.retain(|t| t.0 != jid);
+                        live_admitted -= 1;
+                        completed += 1;
+                        outcomes[jid as usize] = Some(JobOutcome {
+                            job: jid,
+                            arrival: job.arrival,
+                            weight: job.weight,
+                            start_round: started[jid as usize].expect("job admitted"),
+                            completion_round: round,
+                            completion: speed.round_end(round),
+                            flow: speed.flow_time(job.arrival, round),
+                            status: JobStatus::Failed,
+                        });
+                        if config.record_trace {
+                            row.push(Action::Work { job: jid, node: v });
+                        }
+                        continue;
+                    }
                     // Claim enabled nodes now (they are exclusively ours)
                     // but defer deque publication to the end of the round.
+                    let cursor = cursors[jid as usize].as_mut().expect("admitted job");
                     for u in newly_ready {
                         cursor.claim(u).expect("newly ready claimable");
                         workers[p].pending.push((jid, u));
@@ -405,6 +627,7 @@ pub fn run_worksteal(
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
+                            status: JobStatus::Completed,
                         });
                     }
                 }
@@ -439,6 +662,7 @@ pub fn run_worksteal(
         outcomes,
         stats,
         samples,
+        fault_events,
     };
     let trace = config.record_trace.then_some(ScheduleTrace {
         m,
@@ -569,7 +793,9 @@ mod tests {
     #[test]
     fn different_seeds_can_differ() {
         let dag = Arc::new(shapes::diamond(16, 2));
-        let jobs: Vec<Job> = (0..20).map(|i| Job::new(i, i as u64, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| Job::new(i, i as u64, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         let cfg = SimConfig::new(8);
         let policy = StealPolicy::StealKFirst { k: 4 };
@@ -583,7 +809,9 @@ mod tests {
     #[test]
     fn trace_validates_admit_first() {
         let dag = Arc::new(shapes::diamond(4, 2));
-        let jobs: Vec<Job> = (0..8).map(|i| Job::new(i, i as u64 * 2, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| Job::new(i, i as u64 * 2, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         let (r, trace) = run_worksteal(
             &inst,
@@ -601,7 +829,9 @@ mod tests {
     #[test]
     fn trace_validates_steal_k_first_augmented() {
         let dag = Arc::new(shapes::fork_join(3, 2));
-        let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, i as u64 * 5, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(i, i as u64 * 5, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         let (_, trace) = run_worksteal(
             &inst,
@@ -633,7 +863,9 @@ mod tests {
     #[test]
     fn work_conservation() {
         let dag = Arc::new(shapes::fork_join(4, 3));
-        let jobs: Vec<Job> = (0..12).map(|i| Job::new(i, i as u64 * 7, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(i, i as u64 * 7, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         for policy in [
             StealPolicy::AdmitFirst,
@@ -656,7 +888,9 @@ mod tests {
     #[test]
     fn sampling_collects_backlog_snapshots() {
         let dag = Arc::new(shapes::parallel_for(40, 8));
-        let jobs: Vec<Job> = (0..30).map(|i| Job::new(i, i as u64, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| Job::new(i, i as u64, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         let cfg = SimConfig::new(2).with_sampling(5);
         let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 3);
@@ -709,7 +943,9 @@ mod tests {
     #[test]
     fn free_steal_trace_validates() {
         let dag = Arc::new(shapes::fork_join(3, 2));
-        let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, i as u64 * 4, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(i, i as u64 * 4, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         for policy in [StealPolicy::AdmitFirst, StealPolicy::StealKFirst { k: 8 }] {
             let (r, trace) = run_worksteal(
@@ -803,12 +1039,192 @@ mod tests {
     }
 
     #[test]
+    fn crash_reinjects_orphans_and_work_completes() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // One wide job spread over 4 workers; worker 1 dies mid-run. Its
+        // deque must be reinjected and every unit still executed.
+        let dag = Arc::new(shapes::diamond(24, 2));
+        let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+        let cfg = SimConfig::new(4).with_faults(FaultPlan::none().crash(1, 3));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 11);
+        assert!(r.all_completed());
+        assert_eq!(r.stats.work_steps, inst.total_work());
+        assert_eq!(r.stats.crashed_workers, 1);
+        assert!(r
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::Crash && e.worker == Some(1) && e.round == 3));
+        // If the dead worker held tasks, a reinjection event follows.
+        let reinjected: u64 = r
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultKind::OrphanReinjection)
+            .map(|e| e.detail)
+            .sum();
+        assert_eq!(reinjected, r.stats.reinjected_tasks);
+    }
+
+    #[test]
+    fn crash_before_start_leaves_worker_out() {
+        use crate::fault::FaultPlan;
+        // Worker 0 dead from round 0: the other worker does everything.
+        let inst = inst_seq(&[(0, 3), (0, 3)]);
+        let cfg = SimConfig::new(2).with_faults(FaultPlan::none().crash(0, 0));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 5);
+        assert!(r.all_completed());
+        assert_eq!(r.stats.work_steps, 6);
+        // Serial execution on the survivor: last job waits for the first.
+        assert_eq!(r.max_flow(), Rational::from_int(6));
+    }
+
+    #[test]
+    fn injected_panic_fails_job_without_hanging() {
+        use crate::fault::{FaultPlan, PPM};
+        // 100% panic probability: every job fails at its first node
+        // completion; the run still terminates and accounts every job.
+        let inst = inst_seq(&[(0, 5), (2, 5), (4, 5)]);
+        let cfg = SimConfig::new(2).with_faults(FaultPlan::none().with_panic_ppm(PPM));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 9);
+        assert_eq!(r.outcomes.len(), 3);
+        assert!(!r.all_completed());
+        assert_eq!(r.unfinished().len(), 3);
+        assert_eq!(r.stats.injected_panics, 3);
+    }
+
+    #[test]
+    fn partial_panic_fails_some_jobs_only() {
+        use crate::fault::{FaultPlan, PanicSampler};
+        let inst = inst_seq(&[(0, 1), (0, 1), (0, 1), (0, 1), (0, 1), (0, 1)]);
+        let seed = 21;
+        let ppm = 400_000;
+        let cfg = SimConfig::new(2).with_faults(FaultPlan::none().with_panic_ppm(ppm));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed);
+        // The sampler is keyed by (seed, job, node), so the failed set is
+        // exactly what PanicSampler predicts — independent of scheduling.
+        let sampler = PanicSampler::new(seed, ppm);
+        for o in &r.outcomes {
+            let expect_fail = sampler.should_panic(o.job, 0);
+            assert_eq!(!o.status.is_completed(), expect_fail, "job {}", o.job);
+        }
+        assert!(!r.all_completed());
+        assert!(r.unfinished().len() < 6, "some jobs must survive");
+    }
+
+    #[test]
+    fn stall_freezes_worker_but_deque_stays_stealable() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dag = Arc::new(shapes::diamond(16, 2));
+        let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+        // Worker 0 admits, then stalls; thieves must still drain its deque.
+        let cfg = SimConfig::new(3).with_faults(FaultPlan::none().stall(0, 2, 20));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 4);
+        assert!(r.all_completed());
+        assert_eq!(r.stats.work_steps, inst.total_work());
+        assert!(r.stats.faulted_steps > 0);
+        let begins = r
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultKind::StallBegin)
+            .count();
+        let ends = r
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultKind::StallEnd)
+            .count();
+        assert_eq!(begins, 1);
+        assert!(
+            ends <= 1,
+            "at most one end event (run may finish mid-stall)"
+        );
+    }
+
+    #[test]
+    fn slowdown_halves_throughput_deterministically() {
+        use crate::fault::FaultPlan;
+        // Single worker at half speed: a 10-unit job takes ~20 rounds.
+        let inst = inst_seq(&[(0, 10)]);
+        let cfg = SimConfig::new(1).with_faults(FaultPlan::none().slowdown(0, 500_000));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1);
+        assert!(r.all_completed());
+        let flow = r.outcomes[0].flow;
+        assert!(
+            flow >= Rational::from_int(19) && flow <= Rational::from_int(21),
+            "half-speed flow {flow} out of range"
+        );
+        // Deterministic: same plan, same result.
+        let r2 = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1);
+        assert_eq!(r.outcomes, r2.outcomes);
+    }
+
+    #[test]
+    fn blackhole_starves_thieves() {
+        use crate::fault::FaultPlan;
+        // All work sits on worker 0, which is blackholed: steals never
+        // succeed, yet the owner finishes alone.
+        let dag = Arc::new(shapes::diamond(12, 2));
+        let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+        let cfg = SimConfig::new(3).with_faults(FaultPlan::none().blackhole(0));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 8);
+        assert!(r.all_completed());
+        assert_eq!(r.stats.successful_steals, 0);
+        assert!(r.stats.steal_attempts > 0);
+        // Without the blackhole the same seed sees successful steals.
+        let free = simulate_worksteal(&inst, &SimConfig::new(3), StealPolicy::AdmitFirst, 8);
+        assert!(free.stats.successful_steals > 0);
+    }
+
+    #[test]
+    fn crash_during_quiescent_gap_fires_at_its_round() {
+        use crate::fault::{FaultKind, FaultPlan};
+        // Crash round 50 falls inside the arrival gap [1, 1000): the
+        // fast-forward must stop there so the event fires on time.
+        let inst = inst_seq(&[(0, 1), (1000, 1)]);
+        let cfg = SimConfig::new(2).with_faults(FaultPlan::none().crash(1, 50));
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 2);
+        assert!(r.all_completed());
+        let crash = r
+            .fault_events
+            .iter()
+            .find(|e| e.kind == FaultKind::Crash)
+            .expect("crash fired");
+        assert_eq!(crash.round, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_plan_is_rejected_at_engine_start() {
+        use crate::fault::FaultPlan;
+        let inst = inst_seq(&[(0, 1)]);
+        let cfg = SimConfig::new(2).with_faults(FaultPlan::none().crash(5, 0));
+        let _ = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 0);
+    }
+
+    #[test]
+    fn fault_free_plan_matches_no_plan() {
+        // An empty FaultPlan must not perturb the rng stream or schedule.
+        let dag = Arc::new(shapes::diamond(6, 3));
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job::new(i, (i as u64) * 3, dag.clone()))
+            .collect();
+        let inst = Instance::new(jobs);
+        let cfg = SimConfig::new(4);
+        let with_plan = cfg.clone().with_faults(crate::fault::FaultPlan::none());
+        let policy = StealPolicy::StealKFirst { k: 2 };
+        let a = simulate_worksteal(&inst, &cfg, policy, 99);
+        let b = simulate_worksteal(&inst, &with_plan, policy, 99);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
     fn free_steals_never_slower_than_unit_steps() {
         // Same instance, same seed: removing steal cost cannot hurt max
         // flow on this simple workload (statistically; fixed seed makes it
         // deterministic).
         let dag = Arc::new(shapes::parallel_for(40, 8));
-        let jobs: Vec<Job> = (0..10).map(|i| Job::new(i, i as u64 * 10, dag.clone())).collect();
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job::new(i, i as u64 * 10, dag.clone()))
+            .collect();
         let inst = Instance::new(jobs);
         let policy = StealPolicy::StealKFirst { k: 16 };
         let unit = simulate_worksteal(&inst, &SimConfig::new(4), policy, 5);

@@ -160,7 +160,10 @@ mod tests {
     fn self_loop_fails() {
         let mut b = DagBuilder::new();
         let a = b.add_node(1);
-        assert_eq!(b.add_edge(a, a).unwrap_err(), DagError::SelfLoop { node: a });
+        assert_eq!(
+            b.add_edge(a, a).unwrap_err(),
+            DagError::SelfLoop { node: a }
+        );
     }
 
     #[test]

@@ -97,14 +97,20 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(DagError::Empty.to_string().contains("at least one node"));
-        assert!(DagError::ZeroWork { node: 3 }.to_string().contains("node 3"));
+        assert!(DagError::ZeroWork { node: 3 }
+            .to_string()
+            .contains("node 3"));
         assert!(DagError::UnknownNode { node: 9 }.to_string().contains('9'));
-        assert!(DagError::SelfLoop { node: 1 }.to_string().contains("self-loop"));
+        assert!(DagError::SelfLoop { node: 1 }
+            .to_string()
+            .contains("self-loop"));
         assert!(DagError::DuplicateEdge { from: 1, to: 2 }
             .to_string()
             .contains("1 -> 2"));
         assert!(DagError::Cycle.to_string().contains("cycle"));
-        assert!(ExecError::NotReady { node: 0 }.to_string().contains("ready"));
+        assert!(ExecError::NotReady { node: 0 }
+            .to_string()
+            .contains("ready"));
         assert!(ExecError::NotClaimed { node: 0 }
             .to_string()
             .contains("claimed"));

@@ -101,10 +101,7 @@ impl JobDag {
 
     /// Iterate over all nodes with their ids.
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (i as NodeId, n))
+        self.nodes.iter().enumerate().map(|(i, n)| (i as NodeId, n))
     }
 
     /// Node indices with no predecessors (the initially ready nodes).

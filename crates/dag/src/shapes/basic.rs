@@ -7,7 +7,10 @@ use parflow_time::Work;
 /// A job consisting of a single sequential node of `work` units.
 pub fn single_node(work: Work) -> JobDag {
     assert!(work > 0, "work must be positive");
-    DagBuilder::new().node(work).build().expect("valid by construction")
+    DagBuilder::new()
+        .node(work)
+        .build()
+        .expect("valid by construction")
 }
 
 /// A fully sequential chain of `len` nodes, each of `node_work` units.

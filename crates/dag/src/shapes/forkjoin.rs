@@ -19,7 +19,10 @@ use parflow_time::Work;
 /// ```
 pub fn fork_join(depth: u32, leaf_work: Work) -> JobDag {
     assert!(leaf_work > 0, "leaf work must be positive");
-    assert!(depth <= 24, "fork-join depth {depth} would exceed 16M nodes");
+    assert!(
+        depth <= 24,
+        "fork-join depth {depth} would exceed 16M nodes"
+    );
     let mut b = DagBuilder::new();
     build_rec(&mut b, depth, leaf_work);
     b.build().expect("valid by construction")

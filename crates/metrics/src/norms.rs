@@ -65,9 +65,7 @@ pub fn stretches(flows: &[Rational], sizes: &[u64]) -> Vec<f64> {
 
 /// Maximum stretch `max_i F_i / size_i`.
 pub fn max_stretch(flows: &[Rational], sizes: &[u64]) -> f64 {
-    stretches(flows, sizes)
-        .into_iter()
-        .fold(0.0_f64, f64::max)
+    stretches(flows, sizes).into_iter().fold(0.0_f64, f64::max)
 }
 
 #[cfg(test)]

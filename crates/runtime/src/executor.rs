@@ -13,15 +13,40 @@
 //! On admission the worker expands the job's parallel-for into chunk tasks
 //! pushed onto its own deque (TBB/Cilk spawn semantics) and immediately
 //! executes one.
+//!
+//! ## Hardening
+//!
+//! The executor is panic- and fault-tolerant:
+//!
+//! * every chunk kernel runs under `catch_unwind`; a panicking chunk marks
+//!   its job [`JobStatus::Failed`] and drops the job's remaining tasks, so
+//!   one bad job can neither kill a worker thread nor hang the run;
+//! * an optional watchdog ([`RuntimeConfig::with_deadline`]) aborts the run
+//!   when outstanding jobs make no progress for the configured window,
+//!   returning partial results with unfinished jobs marked
+//!   [`JobStatus::Aborted`];
+//! * a [`FaultPlan`] (shared with the simulator) injects worker crashes —
+//!   a crashed worker drains its deque into a global orphan queue that
+//!   survivors adopt from — plus slowdowns, stall windows, steal
+//!   blackholes, and probabilistic task panics;
+//! * [`try_run_workload`] propagates engine errors (a genuinely dead
+//!   worker thread, an invalid fault plan) instead of panicking in the
+//!   caller's thread.
 
 use crate::task::{spin_kernel, JobShape, JobSpec, JobState, Task, TaskKind};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parflow_core::{FaultEvent, FaultKind, FaultPlan, JobStatus, PanicSampler, PPM};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
+
+/// Nanoseconds per simulated round: 1 work unit = 1 tick = 0.1 ms. Used to
+/// convert a [`FaultPlan`]'s round-based schedule to wall-clock deadlines
+/// and to timestamp runtime [`FaultEvent`]s in round units.
+pub const NS_PER_TICK: u64 = 100_000;
 
 /// Admission policy of the real runtime (mirrors
 /// `parflow_core::StealPolicy`).
@@ -37,14 +62,24 @@ pub enum RtPolicy {
 }
 
 /// Executor configuration.
-#[derive(Clone, Copy, Debug)]
+///
+/// Not `Copy` since the fault plan owns heap-allocated fault lists; clone
+/// explicitly where a second copy is needed.
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Number of worker threads.
     pub workers: usize,
     /// Admission policy.
     pub policy: RtPolicy,
-    /// RNG seed for victim selection.
+    /// RNG seed for victim selection (also keys the panic sampler).
     pub seed: u64,
+    /// Faults to inject; empty by default. Round-based fault times are
+    /// mapped to wall-clock at [`NS_PER_TICK`] nanoseconds per round.
+    pub faults: FaultPlan,
+    /// Watchdog no-progress deadline: if outstanding jobs exist and no
+    /// counter moves for this long, the run aborts with partial results.
+    /// `None` (default) disables the watchdog.
+    pub deadline: Option<Duration>,
 }
 
 impl RuntimeConfig {
@@ -55,7 +90,27 @@ impl RuntimeConfig {
             workers,
             policy,
             seed: 0x5eed,
+            faults: FaultPlan::none(),
+            deadline: None,
         }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inject the given faults (validated against `workers` at run start).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Abort the run when outstanding jobs make no progress for `deadline`.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -70,6 +125,10 @@ pub struct RuntimeStats {
     pub successful_steals: u64,
     /// Jobs admitted from the global queue.
     pub admissions: u64,
+    /// Chunk executions that panicked (injected or real).
+    pub task_panics: u64,
+    /// Tasks reinjected into the orphan queue by crashed workers.
+    pub orphaned_tasks: u64,
 }
 
 /// Result of one job in a runtime run.
@@ -77,8 +136,12 @@ pub struct RuntimeStats {
 pub struct RtJobResult {
     /// Job index (submission order).
     pub id: u32,
-    /// Wall-clock flow time.
+    /// Wall-clock flow time. For [`JobStatus::Failed`] jobs this is the
+    /// time to failure; for [`JobStatus::Aborted`] jobs the time in system
+    /// until the abort (zero if the job never arrived).
     pub flow: Duration,
+    /// How the job ended.
+    pub status: JobStatus,
 }
 
 /// Outcome of a whole workload run.
@@ -90,12 +153,28 @@ pub struct RuntimeResult {
     pub stats: RuntimeStats,
     /// Total wall-clock duration of the run.
     pub elapsed: Duration,
+    /// True when the watchdog gave up on the run before all jobs finished.
+    pub aborted: bool,
+    /// Faults that actually fired, timestamped in rounds ([`NS_PER_TICK`]).
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl RuntimeResult {
-    /// Maximum flow time over all jobs.
+    /// Maximum flow time over all jobs (including failed/aborted ones,
+    /// whose flows measure time-to-failure/abort).
     pub fn max_flow(&self) -> Duration {
         self.jobs.iter().map(|j| j.flow).max().unwrap_or_default()
+    }
+
+    /// Maximum flow time over *completed* jobs only — the meaningful
+    /// objective under fault injection.
+    pub fn max_completed_flow(&self) -> Duration {
+        self.jobs
+            .iter()
+            .filter(|j| j.status.is_completed())
+            .map(|j| j.flow)
+            .max()
+            .unwrap_or_default()
     }
 
     /// Mean flow time.
@@ -106,45 +185,207 @@ impl RuntimeResult {
         let total: Duration = self.jobs.iter().map(|j| j.flow).sum();
         total / self.jobs.len() as u32
     }
+
+    /// True when every job ran to completion.
+    pub fn all_completed(&self) -> bool {
+        self.jobs.iter().all(|j| j.status.is_completed())
+    }
+}
+
+/// Engine-level failures surfaced by [`try_run_workload`]. These indicate
+/// bugs or bad configuration, not job failures (which are reported per-job
+/// via [`JobStatus`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The fault plan references workers outside `0..workers` or leaves no
+    /// worker able to make progress.
+    InvalidFaultPlan(String),
+    /// A worker thread itself died (its loop is panic-hardened, so this
+    /// means an engine bug).
+    WorkerPanicked(usize),
+    /// The submitter thread died.
+    SubmitterPanicked,
+    /// The watchdog thread died.
+    WatchdogPanicked,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            RuntimeError::WorkerPanicked(p) => write!(f, "worker thread {p} panicked"),
+            RuntimeError::SubmitterPanicked => write!(f, "submitter thread panicked"),
+            RuntimeError::WatchdogPanicked => write!(f, "watchdog thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Payload of deliberately injected chunk panics. The global panic hook is
+/// taught (once, lazily) to stay silent for this payload so fault-injection
+/// runs do not spray "thread panicked" noise; genuine panics still reach
+/// the previous hook untouched.
+struct InjectedPanic;
+
+fn silence_injected_panics() {
+    static SILENCE: Once = Once::new();
+    SILENCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Bounded exponential backoff for workers that find nothing to do: a few
+/// spin-loop hints first, then cooperative yields, then short parks with a
+/// capped sleep. Keeps the worst-case reaction latency around a millisecond
+/// while not burning a full core per worker through long arrival gaps.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Steps 0..SPIN spin `2^step` times; SPIN..YIELD yield; beyond, park.
+    const SPIN: u32 = 6;
+    const YIELD: u32 = 10;
+
+    fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn pause(&mut self) {
+        if self.step < Self::SPIN {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < Self::YIELD {
+            std::thread::yield_now();
+        } else {
+            let shift = (self.step - Self::YIELD).min(4);
+            std::thread::sleep(Duration::from_micros((50u64 << shift).min(800)));
+        }
+        self.step = self.step.saturating_add(1);
+    }
 }
 
 struct Shared {
     injector: Injector<Arc<JobState>>,
+    /// Tasks drained from crashed workers' deques, adopted by survivors.
+    orphans: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
     done: AtomicBool,
+    aborted: AtomicBool,
+    /// Terminal (completed or failed) jobs.
     completed: AtomicUsize,
+    /// Jobs released by the submitter so far.
+    submitted: AtomicUsize,
     total_jobs: usize,
     base: Instant,
+    faults: FaultPlan,
+    sampler: PanicSampler,
+    blackholed: Vec<bool>,
     tasks_executed: AtomicU64,
     steal_attempts: AtomicU64,
     successful_steals: AtomicU64,
     admissions: AtomicU64,
+    task_panics: AtomicU64,
+    orphaned_tasks: AtomicU64,
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl Shared {
+    /// Current engine time in rounds (for fault-event timestamps).
+    fn now_round(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64 / NS_PER_TICK
+    }
+
+    fn push_event(&self, kind: FaultKind, worker: Option<usize>, job: Option<u32>, detail: u64) {
+        self.events.lock().push(FaultEvent {
+            round: self.now_round(),
+            worker,
+            job,
+            kind,
+            detail,
+        });
+    }
+
+    /// Count one job as terminal; flips `done` when it was the last.
+    fn job_terminal(&self) {
+        let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == self.total_jobs {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+}
+
+fn round_to_duration(round: u64) -> Duration {
+    Duration::from_nanos(round.saturating_mul(NS_PER_TICK))
 }
 
 /// Run a workload: `(arrival offset, spec)` pairs, offsets non-decreasing.
 ///
 /// Spawns `config.workers` worker threads plus a submitter thread that
-/// releases jobs at their arrival offsets; blocks until every job
-/// completes and returns per-job wall-clock flow times.
-pub fn run_workload(
+/// releases jobs at their arrival offsets; blocks until every job reaches
+/// a terminal state (or the watchdog aborts) and returns per-job
+/// wall-clock flow times and statuses.
+///
+/// Panics on engine-level failures; use [`try_run_workload`] to handle
+/// them as errors instead.
+pub fn run_workload(config: &RuntimeConfig, workload: &[(Duration, JobSpec)]) -> RuntimeResult {
+    try_run_workload(config, workload).unwrap_or_else(|e| panic!("runtime failure: {e}"))
+}
+
+/// Fallible variant of [`run_workload`]: engine-level problems (invalid
+/// fault plan, a genuinely dead thread) come back as [`RuntimeError`]
+/// instead of panicking. Job-level failures never produce an `Err` — they
+/// are reported per job via [`RtJobResult::status`].
+pub fn try_run_workload(
     config: &RuntimeConfig,
     workload: &[(Duration, JobSpec)],
-) -> RuntimeResult {
+) -> Result<RuntimeResult, RuntimeError> {
+    if let Err(msg) = config.faults.validate(config.workers) {
+        return Err(RuntimeError::InvalidFaultPlan(msg));
+    }
+    let inject_panics =
+        config.faults.panic_ppm > 0 || workload.iter().any(|&(_, s)| s.shape == JobShape::Poison);
+    if inject_panics {
+        silence_injected_panics();
+    }
+
     let n = workload.len();
     let deques: Vec<Deque<Task>> = (0..config.workers).map(|_| Deque::new_lifo()).collect();
     let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
     let base = Instant::now();
     let shared = Arc::new(Shared {
         injector: Injector::new(),
+        orphans: Injector::new(),
         stealers,
         done: AtomicBool::new(n == 0),
+        aborted: AtomicBool::new(false),
         completed: AtomicUsize::new(0),
+        submitted: AtomicUsize::new(0),
         total_jobs: n,
         base,
+        faults: config.faults.clone(),
+        sampler: PanicSampler::new(config.seed, config.faults.panic_ppm),
+        blackholed: (0..config.workers)
+            .map(|p| config.faults.is_blackhole(p))
+            .collect(),
         tasks_executed: AtomicU64::new(0),
         steal_attempts: AtomicU64::new(0),
         successful_steals: AtomicU64::new(0),
         admissions: AtomicU64::new(0),
+        task_panics: AtomicU64::new(0),
+        orphaned_tasks: AtomicU64::new(0),
+        events: Mutex::new(Vec::new()),
     });
 
     let states: Vec<Arc<JobState>> = workload
@@ -153,7 +394,8 @@ pub fn run_workload(
         .map(|(i, &(_, spec))| Arc::new(JobState::new(i as u32, spec)))
         .collect();
 
-    // The submitter releases jobs at their arrival offsets.
+    // The submitter releases jobs at their arrival offsets, sleeping in
+    // short slices so a watchdog abort interrupts it promptly.
     let submitter = {
         let shared = Arc::clone(&shared);
         let states = states.clone();
@@ -161,17 +403,62 @@ pub fn run_workload(
         std::thread::spawn(move || {
             for (state, offset) in states.into_iter().zip(offsets) {
                 let target = shared.base + offset;
-                let now = Instant::now();
-                if target > now {
-                    std::thread::sleep(target - now);
+                loop {
+                    if shared.done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if target <= now {
+                        break;
+                    }
+                    std::thread::sleep((target - now).min(Duration::from_millis(10)));
                 }
-                state
-                    .arrival_ns
-                    .store(shared.base.elapsed().as_nanos() as u64, Ordering::Release);
+                // `max(1)` so arrival_ns == 0 still means "never arrived".
+                let ns = shared.base.elapsed().as_nanos() as u64;
+                state.arrival_ns.store(ns.max(1), Ordering::Release);
+                shared.submitted.fetch_add(1, Ordering::Release);
                 shared.injector.push(state);
             }
         })
     };
+
+    // Watchdog: aborts the run when released-but-unfinished jobs exist and
+    // no counter moves for the configured deadline.
+    let watchdog = config.deadline.map(|deadline| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let poll = (deadline / 8)
+                .max(Duration::from_millis(1))
+                .min(Duration::from_millis(25));
+            let mut last_snapshot = (0u64, 0u64, 0u64, 0usize, 0usize);
+            let mut stagnant_since = Instant::now();
+            loop {
+                if shared.done.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(poll);
+                let snapshot = (
+                    shared.tasks_executed.load(Ordering::Relaxed),
+                    shared.admissions.load(Ordering::Relaxed),
+                    shared.task_panics.load(Ordering::Relaxed),
+                    shared.completed.load(Ordering::Acquire),
+                    shared.submitted.load(Ordering::Acquire),
+                );
+                let outstanding = snapshot.4 > snapshot.3;
+                if snapshot != last_snapshot || !outstanding {
+                    last_snapshot = snapshot;
+                    stagnant_since = Instant::now();
+                    continue;
+                }
+                if stagnant_since.elapsed() >= deadline {
+                    shared.push_event(FaultKind::Abort, None, None, 0);
+                    shared.aborted.store(true, Ordering::Release);
+                    shared.done.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        })
+    });
 
     // Worker threads.
     let mut handles = Vec::with_capacity(config.workers);
@@ -189,31 +476,71 @@ pub fn run_workload(
         }));
     }
 
-    submitter.join().expect("submitter thread panicked");
-    for h in handles {
-        h.join().expect("worker thread panicked");
+    let mut error = None;
+    if submitter.join().is_err() {
+        error = Some(RuntimeError::SubmitterPanicked);
+    }
+    for (p, h) in handles.into_iter().enumerate() {
+        if h.join().is_err() {
+            error.get_or_insert(RuntimeError::WorkerPanicked(p));
+        }
+    }
+    if let Some(w) = watchdog {
+        if w.join().is_err() {
+            error.get_or_insert(RuntimeError::WatchdogPanicked);
+        }
+    }
+    if let Some(e) = error {
+        return Err(e);
     }
 
+    let end_ns = base.elapsed().as_nanos() as u64;
+    let fault_events = std::mem::take(&mut *shared.events.lock());
     let jobs = states
         .iter()
-        .map(|s| RtJobResult {
-            id: s.id,
-            flow: Duration::from_nanos(s.flow_ns().expect("job completed")),
+        .map(|s| {
+            let status = s.status();
+            let flow = match s.flow_ns() {
+                Some(ns) => Duration::from_nanos(ns),
+                None => {
+                    // Aborted before finishing: time in system up to the
+                    // end of the run, zero if the job never arrived.
+                    let arrival = s.arrival_ns.load(Ordering::Acquire);
+                    if arrival == 0 {
+                        Duration::ZERO
+                    } else {
+                        Duration::from_nanos(end_ns.saturating_sub(arrival))
+                    }
+                }
+            };
+            RtJobResult {
+                id: s.id,
+                flow,
+                status,
+            }
         })
         .collect();
-    RuntimeResult {
+    Ok(RuntimeResult {
         jobs,
         stats: RuntimeStats {
             tasks_executed: shared.tasks_executed.load(Ordering::Relaxed),
             steal_attempts: shared.steal_attempts.load(Ordering::Relaxed),
             successful_steals: shared.successful_steals.load(Ordering::Relaxed),
             admissions: shared.admissions.load(Ordering::Relaxed),
+            task_panics: shared.task_panics.load(Ordering::Relaxed),
+            orphaned_tasks: shared.orphaned_tasks.load(Ordering::Relaxed),
         },
         elapsed: base.elapsed(),
-    }
+        aborted: shared.aborted.load(Ordering::Acquire),
+        fault_events,
+    })
 }
 
-fn execute(task: Task, local: &Deque<Task>, shared: &Shared) {
+fn execute(p: usize, task: Task, local: &Deque<Task>, shared: &Shared, rate_ppm: u32) {
+    // Tasks of an already-failed job are dropped, not executed.
+    if task.job.is_failed() {
+        return;
+    }
     match task.kind {
         TaskKind::Spawn { depth } => {
             // Fork: expand into two children on the executing worker's
@@ -232,13 +559,39 @@ fn execute(task: Task, local: &Deque<Task>, shared: &Shared) {
             }
         }
         TaskKind::Chunk => {
-            let out = spin_kernel(task.job.iters_per_chunk, task.job.id as u64 + 1);
-            std::hint::black_box(out);
-            shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
-            if task.job.finish_chunk(shared.base) {
-                let done = shared.completed.fetch_add(1, Ordering::AcqRel) + 1;
-                if done == shared.total_jobs {
-                    shared.done.store(true, Ordering::Release);
+            let job = &task.job;
+            let seq = job.next_seq();
+            let injected =
+                job.shape == JobShape::Poison || shared.sampler.should_panic(job.id, seq as u32);
+            let started = Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if injected {
+                    std::panic::panic_any(InjectedPanic);
+                }
+                spin_kernel(job.iters_per_chunk, job.id as u64 + 1)
+            }));
+            match outcome {
+                Ok(out) => {
+                    std::hint::black_box(out);
+                    shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    if rate_ppm < PPM {
+                        // Injected slowdown: stretch the chunk so the worker
+                        // delivers `rate_ppm`/1e6 of full throughput.
+                        let ns = started.elapsed().as_nanos() as u64;
+                        let extra =
+                            ns.saturating_mul((PPM - rate_ppm) as u64) / rate_ppm.max(1) as u64;
+                        std::thread::sleep(Duration::from_nanos(extra.min(10_000_000)));
+                    }
+                    if job.finish_chunk(shared.base) {
+                        shared.job_terminal();
+                    }
+                }
+                Err(_) => {
+                    shared.task_panics.fetch_add(1, Ordering::Relaxed);
+                    shared.push_event(FaultKind::TaskPanic, Some(p), Some(job.id), seq);
+                    if job.fail(shared.base) {
+                        shared.job_terminal();
+                    }
                 }
             }
         }
@@ -253,7 +606,7 @@ fn try_admit(local: &Deque<Task>, shared: &Shared) -> bool {
             Steal::Success(job) => {
                 shared.admissions.fetch_add(1, Ordering::Relaxed);
                 match job.shape {
-                    JobShape::Flat => {
+                    JobShape::Flat | JobShape::Poison => {
                         for _ in 0..job.chunks {
                             local.push(Task {
                                 job: Arc::clone(&job),
@@ -284,12 +637,86 @@ fn try_admit(local: &Deque<Task>, shared: &Shared) -> bool {
 fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, shared: &Shared) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut fails: u32 = 0;
+    let mut backoff = Backoff::new();
+    let mut was_stalled = false;
     let m = shared.stealers.len();
+
+    // Fault schedule for this worker, rounds mapped to wall-clock.
+    let crash_at = shared.faults.crash_round_of(p).map(round_to_duration);
+    let rate_ppm = shared.faults.rate_ppm_of(p);
+    let stall_windows: Vec<(Duration, Duration)> = shared
+        .faults
+        .stalls
+        .iter()
+        .filter(|s| s.worker == p)
+        .map(|s| {
+            (
+                round_to_duration(s.from_round),
+                round_to_duration(s.from_round.saturating_add(s.duration)),
+            )
+        })
+        .collect();
+
     loop {
+        let elapsed = shared.base.elapsed();
+
+        // Injected crash: drain the local deque into the orphan queue so
+        // survivors adopt the work, then leave service for good.
+        if crash_at.is_some_and(|at| elapsed >= at) {
+            let mut orphaned = 0u64;
+            while let Some(task) = local.pop() {
+                shared.orphans.push(task);
+                orphaned += 1;
+            }
+            shared.orphaned_tasks.fetch_add(orphaned, Ordering::Relaxed);
+            shared.push_event(FaultKind::Crash, Some(p), None, 0);
+            if orphaned > 0 {
+                shared.push_event(FaultKind::OrphanReinjection, Some(p), None, orphaned);
+            }
+            return;
+        }
+
+        // Injected stall: freeze inside the window. The deque stays
+        // stealable the whole time (the blackhole fault is the separate
+        // "deque unreachable" failure mode).
+        if let Some(&(_, until)) = stall_windows
+            .iter()
+            .find(|&&(from, until)| elapsed >= from && elapsed < until)
+        {
+            if !was_stalled {
+                shared.push_event(FaultKind::StallBegin, Some(p), None, 0);
+                was_stalled = true;
+            }
+            if shared.done.load(Ordering::Acquire) {
+                return;
+            }
+            let remaining = until.saturating_sub(shared.base.elapsed());
+            std::thread::sleep(remaining.min(Duration::from_micros(200)));
+            continue;
+        } else if was_stalled {
+            shared.push_event(FaultKind::StallEnd, Some(p), None, 0);
+            was_stalled = false;
+        }
+
         if let Some(task) = local.pop() {
             fails = 0;
-            execute(task, local, shared);
+            backoff.reset();
+            execute(p, task, local, shared, rate_ppm);
             continue;
+        }
+
+        // Adopt work orphaned by crashed workers before admitting or
+        // stealing: reinjected tasks go to the front of the line, exactly
+        // like the simulator's global orphan FIFO.
+        match shared.orphans.steal() {
+            Steal::Success(task) => {
+                fails = 0;
+                backoff.reset();
+                execute(p, task, local, shared, rate_ppm);
+                continue;
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {}
         }
 
         let admit_now = match policy {
@@ -298,6 +725,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         };
         if admit_now && try_admit(local, shared) {
             fails = 0;
+            backoff.reset();
             continue;
         }
 
@@ -308,15 +736,26 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
             if victim >= p {
                 victim += 1;
             }
-            match shared.stealers[victim].steal() {
-                Steal::Success(task) => {
-                    shared.successful_steals.fetch_add(1, Ordering::Relaxed);
-                    fails = 0;
-                    execute(task, local, shared);
-                    continue;
-                }
-                Steal::Empty | Steal::Retry => {
-                    fails = fails.saturating_add(1);
+            if shared.blackholed[victim] {
+                // A blackholed victim consumes the attempt, never yields.
+                fails = fails.saturating_add(1);
+            } else {
+                match shared.stealers[victim].steal() {
+                    Steal::Success(task) => {
+                        shared.successful_steals.fetch_add(1, Ordering::Relaxed);
+                        fails = 0;
+                        backoff.reset();
+                        execute(p, task, local, shared, rate_ppm);
+                        continue;
+                    }
+                    Steal::Empty => {
+                        fails = fails.saturating_add(1);
+                    }
+                    Steal::Retry => {
+                        // Lost a race with the victim, which says nothing
+                        // about whether work exists: do not let contention
+                        // count toward the steal-k admission threshold.
+                    }
                 }
             }
         } else {
@@ -329,6 +768,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         if let RtPolicy::StealKFirst { k } = policy {
             if fails >= k && try_admit(local, shared) {
                 fails = 0;
+                backoff.reset();
                 continue;
             }
         }
@@ -336,13 +776,10 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         if shared.done.load(Ordering::Acquire) {
             break;
         }
-        // Back off a little once the system looks drained to avoid burning
-        // a full core per worker during long arrival gaps.
-        if fails > 0 && fails.is_multiple_of(1024) {
-            std::thread::yield_now();
-        } else {
-            std::hint::spin_loop();
-        }
+        // Nothing anywhere: back off progressively (spin, then yield, then
+        // short parks) so idle workers stay responsive without burning a
+        // full core each during long arrival gaps.
+        backoff.pause();
     }
 }
 
@@ -376,6 +813,7 @@ mod tests {
         // 16 leaves per job; spawn strands are not counted as tasks.
         assert_eq!(r.stats.tasks_executed, 8 * 16);
         assert!(r.jobs.iter().all(|j| j.flow > Duration::ZERO));
+        assert!(r.all_completed());
     }
 
     #[test]
@@ -397,6 +835,8 @@ mod tests {
         let r = run_workload(&cfg, &[]);
         assert!(r.jobs.is_empty());
         assert_eq!(r.max_flow(), Duration::ZERO);
+        assert!(!r.aborted);
+        assert!(r.fault_events.is_empty());
     }
 
     #[test]
@@ -405,6 +845,7 @@ mod tests {
         let r = run_workload(&cfg, &burst_workload(1, 4, 10_000));
         assert_eq!(r.jobs.len(), 1);
         assert!(r.jobs[0].flow > Duration::ZERO);
+        assert_eq!(r.jobs[0].status, JobStatus::Completed);
         assert_eq!(r.stats.tasks_executed, 4);
         assert_eq!(r.stats.admissions, 1);
     }
@@ -441,10 +882,7 @@ mod tests {
         let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst);
         let workload = vec![
             (Duration::ZERO, JobSpec::split(200, 2)),
-            (
-                Duration::from_millis(5),
-                JobSpec::split(200, 2),
-            ),
+            (Duration::from_millis(5), JobSpec::split(200, 2)),
         ];
         let start = Instant::now();
         let r = run_workload(&cfg, &workload);
@@ -467,5 +905,183 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = RuntimeConfig::new(0, RtPolicy::AdmitFirst);
+    }
+
+    // ---- fault injection and hardening ----
+
+    #[test]
+    fn poison_job_fails_without_hanging_the_run() {
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst);
+        let workload = vec![
+            (Duration::ZERO, JobSpec::split(2_000, 2)),
+            (Duration::ZERO, JobSpec::poison(2_000, 2)),
+            (Duration::ZERO, JobSpec::split(2_000, 2)),
+        ];
+        let r = run_workload(&cfg, &workload);
+        assert_eq!(r.jobs.len(), 3);
+        assert_eq!(r.jobs[0].status, JobStatus::Completed);
+        assert_eq!(r.jobs[1].status, JobStatus::Failed);
+        assert_eq!(r.jobs[2].status, JobStatus::Completed);
+        assert!(!r.aborted);
+        assert!(r.stats.task_panics >= 1);
+        assert!(r
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::TaskPanic && e.job == Some(1)));
+        // The failed job still records a (time-to-failure) flow.
+        assert!(r.jobs[1].flow > Duration::ZERO);
+    }
+
+    #[test]
+    fn panic_ppm_full_fails_every_job() {
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst)
+            .with_faults(FaultPlan::none().with_panic_ppm(PPM));
+        let r = run_workload(&cfg, &burst_workload(4, 2, 500));
+        assert!(r.jobs.iter().all(|j| j.status == JobStatus::Failed));
+        // Every executed chunk panics; a job's sibling chunk may race in
+        // on the other worker before the failure flag lands, so anywhere
+        // between one and all chunks per job can panic.
+        assert!(
+            (4..=8).contains(&r.stats.task_panics),
+            "{}",
+            r.stats.task_panics
+        );
+        assert_eq!(r.stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn crash_at_start_leaves_survivor_to_finish() {
+        // Worker 0 crashes before doing anything; the single survivor must
+        // finish every job alone.
+        let cfg =
+            RuntimeConfig::new(2, RtPolicy::AdmitFirst).with_faults(FaultPlan::none().crash(0, 0));
+        let r = run_workload(&cfg, &burst_workload(6, 4, 2_000));
+        assert!(r.all_completed());
+        assert_eq!(r.stats.tasks_executed, 6 * 4);
+        assert!(r
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::Crash && e.worker == Some(0)));
+    }
+
+    #[test]
+    fn mid_run_crash_still_completes_all_work() {
+        // A straggler arriving at 30 ms keeps the run alive past worker
+        // 0's crash at round 100 (10 ms), so the crash is guaranteed to
+        // fire mid-run; whatever worker 0 held is reinjected and adopted.
+        let mut wl = burst_workload(4, 8, 200_000);
+        wl.push((Duration::from_millis(30), JobSpec::split(4_000, 2)));
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst)
+            .with_faults(FaultPlan::none().crash(0, 100));
+        let r = run_workload(&cfg, &wl);
+        assert!(r.all_completed());
+        assert_eq!(r.stats.tasks_executed, 4 * 8 + 2);
+        assert!(r
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::Crash && e.worker == Some(0)));
+    }
+
+    #[test]
+    fn stalled_worker_does_not_block_completion() {
+        // Worker 1 stalls for the first 50 ms (500 rounds); worker 0 does
+        // all the work in the meantime.
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst)
+            .with_faults(FaultPlan::none().stall(1, 0, 500));
+        let r = run_workload(&cfg, &burst_workload(4, 2, 2_000));
+        assert!(r.all_completed());
+        assert!(r
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::StallBegin && e.worker == Some(1)));
+    }
+
+    #[test]
+    fn watchdog_aborts_unfinishable_run() {
+        // One worker, slowed to rate 1 ppm: each chunk stretches ~1e6×
+        // (capped at 10 ms of extra sleep per chunk), so a moderately sized
+        // job cannot finish before the watchdog fires... but chunk
+        // *completions* are progress. To get a genuine no-progress stall,
+        // stall the only worker forever instead.
+        let cfg = RuntimeConfig::new(1, RtPolicy::AdmitFirst)
+            .with_faults(FaultPlan::none().stall(0, 0, u64::MAX / NS_PER_TICK))
+            .with_deadline(Duration::from_millis(50));
+        let r = run_workload(&cfg, &burst_workload(2, 2, 1_000));
+        assert!(r.aborted);
+        assert!(r.jobs.iter().all(|j| j.status == JobStatus::Aborted));
+        assert!(r.fault_events.iter().any(|e| e.kind == FaultKind::Abort));
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_healthy_runs() {
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst).with_deadline(Duration::from_secs(5));
+        let r = run_workload(&cfg, &burst_workload(8, 2, 1_000));
+        assert!(!r.aborted);
+        assert!(r.all_completed());
+    }
+
+    #[test]
+    fn blackholed_victim_yields_no_steals() {
+        // All work enters through worker 0 (the only non-blackholed jobs
+        // source is admission, and with one big job everything sits in the
+        // admitting worker's deque) — with that deque blackholed, no steal
+        // ever succeeds.
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst)
+            .with_faults(FaultPlan::none().blackhole(0).blackhole(1));
+        let r = run_workload(&cfg, &burst_workload(4, 4, 1_000));
+        assert!(r.all_completed());
+        assert_eq!(r.stats.successful_steals, 0);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_an_error() {
+        let cfg =
+            RuntimeConfig::new(2, RtPolicy::AdmitFirst).with_faults(FaultPlan::none().crash(7, 0));
+        match try_run_workload(&cfg, &burst_workload(1, 1, 100)) {
+            Err(RuntimeError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("worker 7"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_flow() {
+        let job = || burst_workload(1, 4, 500_000);
+        let fast = run_workload(&RuntimeConfig::new(1, RtPolicy::AdmitFirst), &job());
+        let slow = run_workload(
+            &RuntimeConfig::new(1, RtPolicy::AdmitFirst)
+                .with_faults(FaultPlan::none().slowdown(0, 250_000)),
+            &job(),
+        );
+        assert!(fast.all_completed() && slow.all_completed());
+        // Quarter speed adds ~3 chunk-times of sleep per chunk; timing
+        // noise makes exact ratios flaky, so only require a clear gap.
+        assert!(
+            slow.elapsed > fast.elapsed + Duration::from_millis(2),
+            "slow {:?} vs fast {:?}",
+            slow.elapsed,
+            fast.elapsed
+        );
+    }
+
+    #[test]
+    fn retry_does_not_count_toward_steal_k() {
+        // Behavioural proxy for the Steal::Retry fix: with a huge k and a
+        // single job in the queue, the only path to admission for m=1 is
+        // accumulating genuine failures; the run must still finish.
+        let cfg = RuntimeConfig::new(1, RtPolicy::StealKFirst { k: 64 });
+        let r = run_workload(&cfg, &burst_workload(2, 2, 500));
+        assert!(r.all_completed());
+    }
+
+    #[test]
+    fn fault_free_config_reports_no_events() {
+        let cfg = RuntimeConfig::new(2, RtPolicy::StealKFirst { k: 4 });
+        let r = run_workload(&cfg, &burst_workload(8, 4, 1_000));
+        assert!(r.fault_events.is_empty());
+        assert_eq!(r.stats.task_panics, 0);
+        assert_eq!(r.stats.orphaned_tasks, 0);
+        assert!(!r.aborted);
     }
 }

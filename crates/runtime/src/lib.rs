@@ -29,6 +29,11 @@ mod executor;
 mod task;
 
 pub use executor::{
-    run_workload, RtJobResult, RtPolicy, RuntimeConfig, RuntimeResult, RuntimeStats,
+    run_workload, try_run_workload, RtJobResult, RtPolicy, RuntimeConfig, RuntimeError,
+    RuntimeResult, RuntimeStats, NS_PER_TICK,
 };
 pub use task::{spin_kernel, JobShape, JobSpec, JobState, Task, TaskKind};
+
+// Fault-injection vocabulary shared with the simulator, re-exported so
+// runtime users do not need a direct parflow-core dependency.
+pub use parflow_core::{FaultEvent, FaultKind, FaultPlan, JobStatus};

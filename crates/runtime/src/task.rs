@@ -6,7 +6,8 @@
 //! chunk finishes. Work is measured in *iterations* of a deterministic
 //! spin kernel so results do not depend on clock resolution.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use parflow_core::JobStatus;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,6 +24,10 @@ pub enum JobShape {
         /// Recursion depth (`2^depth` leaves).
         depth: u32,
     },
+    /// A flat job whose every chunk deliberately panics — the test fixture
+    /// for the executor's panic isolation. The first executed chunk fails
+    /// the whole job.
+    Poison,
 }
 
 /// Specification of one job submitted to the executor.
@@ -50,12 +55,26 @@ impl JobSpec {
     /// A recursive fork-join job with `2^depth` leaves carrying
     /// `total_iters` of work in total.
     pub fn fork_join(total_iters: u64, depth: u32) -> Self {
-        assert!(depth <= 16, "fork-join depth {depth} would exceed 65k leaves");
+        assert!(
+            depth <= 16,
+            "fork-join depth {depth} would exceed 65k leaves"
+        );
         let leaves = 1usize << depth;
         JobSpec {
             chunks: leaves,
             iters_per_chunk: (total_iters / leaves as u64).max(1),
             shape: JobShape::ForkJoin { depth },
+        }
+    }
+
+    /// A flat job whose chunks all panic when executed (see
+    /// [`JobShape::Poison`]).
+    pub fn poison(total_iters: u64, chunks: usize) -> Self {
+        let chunks = chunks.max(1);
+        JobSpec {
+            chunks,
+            iters_per_chunk: (total_iters / chunks as u64).max(1),
+            shape: JobShape::Poison,
         }
     }
 
@@ -75,6 +94,8 @@ pub struct JobState {
     /// Nanoseconds from the run's base instant to arrival.
     pub arrival_ns: AtomicU64,
     /// Nanoseconds from the base instant to completion (0 = incomplete).
+    /// For failed jobs this records the moment of failure instead, so the
+    /// flow of a failed job measures time-to-failure (as in the simulator).
     pub completion_ns: AtomicU64,
     /// Iterations per chunk.
     pub iters_per_chunk: u64,
@@ -82,6 +103,15 @@ pub struct JobState {
     pub chunks: usize,
     /// Structure of the job.
     pub shape: JobShape,
+    /// Set when a chunk of this job panicked; remaining chunks are dropped.
+    pub failed: AtomicBool,
+    /// Single-shot terminal latch: exactly one of `finish_chunk` /
+    /// [`JobState::fail`] wins the right to count this job as finished,
+    /// even when a panicking chunk races the job's last healthy chunk.
+    terminal: AtomicBool,
+    /// Chunk execution sequence number, used to key the deterministic
+    /// panic sampler.
+    executed: AtomicU64,
 }
 
 impl JobState {
@@ -95,12 +125,19 @@ impl JobState {
             iters_per_chunk: spec.iters_per_chunk,
             chunks: spec.chunks,
             shape: spec.shape,
+            failed: AtomicBool::new(false),
+            terminal: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
         }
     }
 
-    /// Mark one chunk finished; returns true if this was the last chunk.
+    /// Mark one chunk finished; returns true if this finished the job
+    /// (last chunk, and no concurrent failure already ended it).
     pub fn finish_chunk(&self, base: Instant) -> bool {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if self.terminal.swap(true, Ordering::AcqRel) {
+                return false;
+            }
             let ns = base.elapsed().as_nanos() as u64;
             self.completion_ns.store(ns.max(1), Ordering::Release);
             true
@@ -109,7 +146,43 @@ impl JobState {
         }
     }
 
-    /// Flow time in nanoseconds, if complete.
+    /// Mark the whole job failed (a chunk panicked); returns true the
+    /// first time, when the caller must count the job as terminal.
+    pub fn fail(&self, base: Instant) -> bool {
+        self.failed.store(true, Ordering::Release);
+        if self.terminal.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let ns = base.elapsed().as_nanos() as u64;
+        self.completion_ns.store(ns.max(1), Ordering::Release);
+        true
+    }
+
+    /// True once a chunk of this job has panicked.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Next chunk sequence number (keys the deterministic panic sampler).
+    pub fn next_seq(&self) -> u64 {
+        self.executed.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Terminal status, meaningful once the run is over: failed jobs are
+    /// [`JobStatus::Failed`], finished ones [`JobStatus::Completed`], and
+    /// anything still open when the run ended [`JobStatus::Aborted`].
+    pub fn status(&self) -> JobStatus {
+        if self.failed.load(Ordering::Acquire) {
+            JobStatus::Failed
+        } else if self.completion_ns.load(Ordering::Acquire) > 0 {
+            JobStatus::Completed
+        } else {
+            JobStatus::Aborted
+        }
+    }
+
+    /// Flow time in nanoseconds, if the job reached a terminal time
+    /// (completion, or failure time for failed jobs).
     pub fn flow_ns(&self) -> Option<u64> {
         let done = self.completion_ns.load(Ordering::Acquire);
         if done == 0 {
@@ -172,7 +245,14 @@ mod tests {
     #[test]
     fn job_state_completion() {
         let base = Instant::now();
-        let js = JobState::new(0, JobSpec { chunks: 3, iters_per_chunk: 1, shape: JobShape::Flat });
+        let js = JobState::new(
+            0,
+            JobSpec {
+                chunks: 3,
+                iters_per_chunk: 1,
+                shape: JobShape::Flat,
+            },
+        );
         assert!(js.flow_ns().is_none());
         assert!(!js.finish_chunk(base));
         assert!(!js.finish_chunk(base));
@@ -183,7 +263,14 @@ mod tests {
     #[test]
     fn flow_subtracts_arrival() {
         let base = Instant::now();
-        let js = JobState::new(0, JobSpec { chunks: 1, iters_per_chunk: 1, shape: JobShape::Flat });
+        let js = JobState::new(
+            0,
+            JobSpec {
+                chunks: 1,
+                iters_per_chunk: 1,
+                shape: JobShape::Flat,
+            },
+        );
         js.arrival_ns.store(100, Ordering::Release);
         js.finish_chunk(base);
         let flow = js.flow_ns().unwrap();
@@ -204,6 +291,58 @@ mod tests {
     #[should_panic(expected = "65k leaves")]
     fn fork_join_depth_cap() {
         let _ = JobSpec::fork_join(1, 17);
+    }
+
+    #[test]
+    fn poison_spec() {
+        let s = JobSpec::poison(100, 4);
+        assert_eq!(s.shape, JobShape::Poison);
+        assert_eq!(s.chunks, 4);
+        assert_eq!(s.iters_per_chunk, 25);
+    }
+
+    #[test]
+    fn fail_is_terminal_exactly_once() {
+        let base = Instant::now();
+        let js = JobState::new(
+            0,
+            JobSpec {
+                chunks: 2,
+                iters_per_chunk: 1,
+                shape: JobShape::Flat,
+            },
+        );
+        assert_eq!(js.status(), JobStatus::Aborted); // not yet terminal
+        assert!(js.fail(base));
+        assert!(!js.fail(base), "second failure must not double-count");
+        assert!(js.is_failed());
+        assert_eq!(js.status(), JobStatus::Failed);
+        assert!(js.flow_ns().is_some(), "failed jobs record time-to-failure");
+    }
+
+    #[test]
+    fn completion_loses_race_against_failure() {
+        let base = Instant::now();
+        let js = JobState::new(
+            0,
+            JobSpec {
+                chunks: 1,
+                iters_per_chunk: 1,
+                shape: JobShape::Flat,
+            },
+        );
+        assert!(js.fail(base));
+        // The last chunk finishing after a failure must not count the job
+        // as terminal a second time.
+        assert!(!js.finish_chunk(base));
+        assert_eq!(js.status(), JobStatus::Failed);
+    }
+
+    #[test]
+    fn seq_increments() {
+        let js = JobState::new(0, JobSpec::split(10, 2));
+        assert_eq!(js.next_seq(), 0);
+        assert_eq!(js.next_seq(), 1);
     }
 
     #[test]

@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn flow_time_augmented() {
         let s = Speed::new(3, 2); // rounds are 2/3 wall ticks long
-        // Finish during round 2 → completion (3)·2/3 = 2; arrived at 0 → flow 2.
+                                  // Finish during round 2 → completion (3)·2/3 = 2; arrived at 0 → flow 2.
         assert_eq!(s.flow_time(0, 2), Rational::from_int(2));
         // Finish during round 0 → completion 2/3.
         assert_eq!(s.flow_time(0, 0), Rational::new(2, 3));

@@ -38,7 +38,10 @@ impl HistogramDist {
         let mut acc = 0.0;
         for &(w, p) in &bins {
             assert!(w > 0, "histogram bin with zero work");
-            assert!(p > 0.0 && p.is_finite(), "histogram bin weight must be positive");
+            assert!(
+                p > 0.0 && p.is_finite(),
+                "histogram bin weight must be positive"
+            );
             acc += p;
             cumulative.push(acc);
         }
@@ -67,11 +70,7 @@ impl WorkDistribution for HistogramDist {
     }
 
     fn mean(&self) -> f64 {
-        self.bins
-            .iter()
-            .map(|&(w, p)| w as f64 * p)
-            .sum::<f64>()
-            / self.total_weight
+        self.bins.iter().map(|&(w, p)| w as f64 * p).sum::<f64>() / self.total_weight
     }
 
     fn name(&self) -> &'static str {

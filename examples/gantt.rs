@@ -13,7 +13,9 @@ fn main() {
     // Six diamond jobs (1 source, 4 middles of 3 units, 1 sink) arriving
     // every 4 ticks on 4 processors.
     let dag = Arc::new(shapes::diamond(4, 3));
-    let jobs: Vec<Job> = (0..6).map(|i| Job::new(i, i as u64 * 4, dag.clone())).collect();
+    let jobs: Vec<Job> = (0..6)
+        .map(|i| Job::new(i, i as u64 * 4, dag.clone()))
+        .collect();
     let inst = Instance::new(jobs);
     let cfg = SimConfig::new(4).with_trace();
 

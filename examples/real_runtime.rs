@@ -9,8 +9,8 @@
 //! cargo run --release --example real_runtime
 //! ```
 
-use parflow::runtime::{run_workload, JobSpec, RtPolicy, RuntimeConfig};
 use parflow::prelude::Table;
+use parflow::runtime::{run_workload, JobSpec, RtPolicy, RuntimeConfig};
 use std::time::Duration;
 
 fn main() {

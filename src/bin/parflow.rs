@@ -1,4 +1,4 @@
-//! The `parflow` CLI: simulate, compare, generate, analyze, dot.
+//! The `parflow` CLI: simulate, compare, generate, analyze, exec, dot.
 //! All logic lives in `parflow::cli` (unit-tested); this wrapper only
 //! forwards arguments and sets the exit code.
 
@@ -13,9 +13,16 @@ fn main() {
             eprintln!("  parflow simulate --dist bing|finance|lognormal --qps N --jobs N \\");
             eprintln!("                   --m N --scheduler fifo|bwf|lifo|sjf|equi|admit-first|steal-<k>-first \\");
             eprintln!("                   [--speed NUM[/DEN]] [--steals free|unit] [--seed N] [--grain N]");
+            eprintln!(
+                "                   [--faults crash:W@R,slow:WxF,stall:W@R+D,blackhole:W,panic:P]"
+            );
             eprintln!("  parflow compare  <same workload flags>");
             eprintln!("  parflow generate <same workload flags> --out FILE.json");
             eprintln!("  parflow analyze  --in FILE.json [--scheduler S] [--m N] [--eps NUM/DEN]");
+            eprintln!(
+                "  parflow exec     <workload flags> --policy admit-first|steal-<k>-first \\"
+            );
+            eprintln!("                   [--faults SPEC] [--deadline 30s|500ms] [--compress N] [--iters-per-unit N]");
             eprintln!("  parflow dot      --shape single|chain|diamond|parallel-for|fork-join|map-reduce|pipeline|adversarial [shape flags]");
             std::process::exit(2);
         }

@@ -77,8 +77,7 @@ fn batch_makespan_bounds() {
             let (r, _) = run_priority(&inst, &SimConfig::new(m), &Fifo);
             let makespan = r.makespan();
             let upper = Rational::new(w as i128, m as i128) + Rational::from_int(p as i128);
-            let lower =
-                Rational::new(w as i128, m as i128).max(Rational::from_int(p as i128));
+            let lower = Rational::new(w as i128, m as i128).max(Rational::from_int(p as i128));
             assert!(makespan <= upper, "m={m}: {} > {}", makespan, upper);
             assert!(makespan >= lower, "m={m}: {} < {}", makespan, lower);
         }
@@ -93,11 +92,8 @@ fn lone_job_flow_scales_inversely_with_integer_speed() {
     let inst = Instance::new(vec![Job::new(0, 0, Arc::clone(&dag))]);
     let base = simulate_fifo(&inst, &SimConfig::new(2)).max_flow();
     for s in [2u64, 3, 5] {
-        let fast = simulate_fifo(
-            &inst,
-            &SimConfig::new(2).with_speed(Speed::integer(s)),
-        )
-        .max_flow();
+        let fast =
+            simulate_fifo(&inst, &SimConfig::new(2).with_speed(Speed::integer(s))).max_flow();
         assert_eq!(fast.mul_ratio(s as i128, 1), base, "speed {s}");
     }
 }

@@ -2,8 +2,8 @@
 //! release / execute across simulated processors must preserve every
 //! invariant regardless of order.
 
-use parflow::prelude::*;
 use parflow::dag::UnitOutcome;
+use parflow::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

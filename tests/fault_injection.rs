@@ -1,0 +1,254 @@
+//! End-to-end fault-injection coverage: the same `FaultPlan` vocabulary
+//! drives both engines, and every fault path — injected task panics, worker
+//! crashes with orphan reinjection, stalls, and watchdog aborts — is
+//! exercised deterministically here.
+//!
+//! Simulator assertions are exact (the discrete engine is deterministic by
+//! construction); runtime assertions check statuses and event kinds, never
+//! wall-clock values, so they hold on loaded CI machines too.
+
+use parflow::core::{FaultKind, FaultPlan, JobStatus, PPM};
+use parflow::prelude::*;
+use parflow::runtime::{
+    run_workload, try_run_workload, JobSpec, RtPolicy, RuntimeConfig, NS_PER_TICK,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small deterministic instance: `n` parallel-for jobs arriving every
+/// `gap` ticks.
+fn small_instance(n: usize, work: u64, width: usize, gap: u64) -> Instance {
+    let dag = Arc::new(shapes::parallel_for(work, width));
+    let jobs = (0..n)
+        .map(|i| Job::new(i as u32, i as u64 * gap, dag.clone()))
+        .collect();
+    Instance::new(jobs)
+}
+
+// ---------------------------------------------------------------------------
+// Simulator paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sim_crash_reinjects_orphans_and_completes_everything() {
+    let inst = small_instance(12, 48, 8, 2);
+    let cfg = SimConfig::new(4)
+        .with_free_steals()
+        .with_faults(FaultPlan::none().crash(0, 5).crash(1, 9));
+    let r = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 4 }, 7);
+
+    assert!(
+        r.all_completed(),
+        "crashes must not lose work: {:?}",
+        r.unfinished()
+    );
+    assert_eq!(r.stats.crashed_workers, 2);
+    let crash_rounds: Vec<u64> = r
+        .fault_events
+        .iter()
+        .filter(|e| e.kind == FaultKind::Crash)
+        .map(|e| e.round)
+        .collect();
+    assert_eq!(
+        crash_rounds,
+        vec![5, 9],
+        "crashes fire exactly at their scheduled rounds"
+    );
+    // Work the dead workers held was handed back through the global queue.
+    assert_eq!(
+        r.stats.reinjected_tasks > 0,
+        r.fault_events
+            .iter()
+            .any(|e| e.kind == FaultKind::OrphanReinjection)
+    );
+}
+
+#[test]
+fn sim_full_panic_rate_fails_every_job() {
+    let inst = small_instance(8, 24, 6, 3);
+    let cfg = SimConfig::new(3)
+        .with_free_steals()
+        .with_faults(FaultPlan::none().with_panic_ppm(PPM));
+    let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 11);
+
+    assert_eq!(r.unfinished().len(), 8, "ppm = 1.0 should fail every job");
+    assert!(r.outcomes.iter().all(|o| o.status == JobStatus::Failed));
+    assert!(r.stats.injected_panics >= 8);
+    assert!(r
+        .fault_events
+        .iter()
+        .any(|e| e.kind == FaultKind::TaskPanic));
+    // Failed jobs are excluded from the robustness objective.
+    assert_eq!(r.max_completed_flow(), Rational::ZERO);
+}
+
+#[test]
+fn sim_stall_delays_but_never_loses_work() {
+    let inst = small_instance(10, 40, 8, 2);
+    let healthy_cfg = SimConfig::new(2).with_free_steals();
+    let stalled_cfg = SimConfig::new(2)
+        .with_free_steals()
+        .with_faults(FaultPlan::none().stall(0, 0, 200));
+    let policy = StealPolicy::StealKFirst { k: 2 };
+    let healthy = simulate_worksteal(&inst, &healthy_cfg, policy, 3);
+    let stalled = simulate_worksteal(&inst, &stalled_cfg, policy, 3);
+
+    assert!(stalled.all_completed());
+    assert!(stalled.stats.faulted_steps >= 200 - 1);
+    assert!(
+        stalled.max_flow() >= healthy.max_flow(),
+        "losing half the machine for 200 rounds cannot improve flow: {} < {}",
+        stalled.max_flow(),
+        healthy.max_flow()
+    );
+    let begins = stalled
+        .fault_events
+        .iter()
+        .filter(|e| e.kind == FaultKind::StallBegin)
+        .count();
+    let ends = stalled
+        .fault_events
+        .iter()
+        .filter(|e| e.kind == FaultKind::StallEnd)
+        .count();
+    assert_eq!((begins, ends), (1, 1));
+}
+
+#[test]
+fn sim_fault_runs_are_deterministic() {
+    let inst = small_instance(15, 32, 4, 1);
+    let plan = FaultPlan::none()
+        .crash(1, 20)
+        .slowdown(2, 400_000)
+        .stall(3, 5, 50)
+        .with_panic_ppm(30_000);
+    let cfg = SimConfig::new(5).with_free_steals().with_faults(plan);
+    let policy = StealPolicy::StealKFirst { k: 8 };
+
+    let a = simulate_worksteal(&inst, &cfg, policy, 99);
+    let b = simulate_worksteal(&inst, &cfg, policy, 99);
+    assert_eq!(
+        a.outcomes, b.outcomes,
+        "same seed, same plan => identical outcomes"
+    );
+    assert_eq!(a.fault_events, b.fault_events);
+    assert_eq!(a.stats, b.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn runtime_poisoned_job_fails_while_neighbours_complete() {
+    // The acceptance scenario: a workload containing a job whose chunks all
+    // panic still completes `run_workload` — no deadlock, no hung worker —
+    // with exactly that job marked Failed.
+    let workload = vec![
+        (Duration::ZERO, JobSpec::split(40_000, 4)),
+        (Duration::ZERO, JobSpec::poison(40_000, 4)),
+        (Duration::from_millis(1), JobSpec::split(40_000, 4)),
+    ];
+    let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst);
+    let r = run_workload(&cfg, &workload);
+
+    let statuses: Vec<JobStatus> = r.jobs.iter().map(|j| j.status).collect();
+    assert_eq!(
+        statuses,
+        vec![
+            JobStatus::Completed,
+            JobStatus::Failed,
+            JobStatus::Completed
+        ]
+    );
+    assert!(!r.aborted);
+    assert!(r.stats.task_panics >= 1);
+    assert!(r
+        .fault_events
+        .iter()
+        .any(|e| e.kind == FaultKind::TaskPanic && e.job == Some(1)));
+    assert!(
+        r.jobs[1].flow > Duration::ZERO,
+        "time-to-failure is still recorded"
+    );
+}
+
+#[test]
+fn runtime_crashed_worker_hands_work_to_survivor() {
+    let workload: Vec<(Duration, JobSpec)> = (0..6)
+        .map(|_| (Duration::ZERO, JobSpec::split(30_000, 4)))
+        .collect();
+    let cfg = RuntimeConfig::new(2, RtPolicy::StealKFirst { k: 4 })
+        .with_faults(FaultPlan::none().crash(0, 0));
+    let r = try_run_workload(&cfg, &workload).expect("valid plan");
+
+    assert!(
+        r.all_completed(),
+        "survivor must finish the crashed worker's share"
+    );
+    assert_eq!(r.jobs.len(), 6);
+    assert!(r
+        .fault_events
+        .iter()
+        .any(|e| e.kind == FaultKind::Crash && e.worker == Some(0)));
+}
+
+#[test]
+fn runtime_stalled_worker_only_slows_the_run() {
+    // Worker 1 stalls for ~5 ms (50 rounds of 0.1 ms); worker 0 keeps going,
+    // so everything still completes and nothing aborts.
+    let workload: Vec<(Duration, JobSpec)> = (0..4)
+        .map(|_| (Duration::ZERO, JobSpec::split(20_000, 2)))
+        .collect();
+    let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst)
+        .with_faults(FaultPlan::none().stall(1, 0, 50))
+        .with_deadline(Duration::from_secs(10));
+    let r = try_run_workload(&cfg, &workload).expect("valid plan");
+
+    assert!(r.all_completed());
+    assert!(!r.aborted);
+    assert!(r
+        .fault_events
+        .iter()
+        .any(|e| e.kind == FaultKind::StallBegin));
+}
+
+#[test]
+fn runtime_watchdog_aborts_a_wedged_machine() {
+    // The only worker stalls effectively forever; with a 50 ms no-progress
+    // deadline the watchdog must abort instead of hanging the test binary.
+    let forever = u64::MAX / NS_PER_TICK;
+    let workload = vec![(Duration::ZERO, JobSpec::split(10_000, 2))];
+    let cfg = RuntimeConfig::new(1, RtPolicy::AdmitFirst)
+        .with_faults(FaultPlan::none().stall(0, 0, forever))
+        .with_deadline(Duration::from_millis(50));
+    let r = try_run_workload(&cfg, &workload).expect("valid plan");
+
+    assert!(r.aborted);
+    assert!(r.jobs.iter().all(|j| j.status == JobStatus::Aborted));
+    assert!(r.fault_events.iter().any(|e| e.kind == FaultKind::Abort));
+    assert!(!r.all_completed());
+}
+
+#[test]
+fn engines_share_one_fault_vocabulary() {
+    // The same FaultPlan value configures both engines; a plan invalid for a
+    // machine is rejected identically by both.
+    let plan = FaultPlan::none().crash(3, 10);
+    assert!(plan.validate(2).is_err());
+    let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst).with_faults(plan.clone());
+    assert!(try_run_workload(&cfg, &[(Duration::ZERO, JobSpec::split(1_000, 1))]).is_err());
+    // (The simulator rejects the same plan with a panic in run_worksteal.)
+    assert!(
+        plan.validate(4).is_ok(),
+        "worker 3 exists on a 4-way machine"
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid fault plan")]
+fn sim_rejects_out_of_range_plan() {
+    let inst = small_instance(2, 8, 2, 1);
+    let cfg = SimConfig::new(2).with_faults(FaultPlan::none().crash(3, 10));
+    let _ = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1);
+}

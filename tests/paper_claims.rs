@@ -60,10 +60,7 @@ fn fifo_respects_three_over_eps() {
         let flow = simulate_fifo(&inst, &cfg).max_flow();
         let eps = en as f64 / ed as f64;
         let ratio = (flow / opt).to_f64();
-        assert!(
-            ratio <= 3.0 / eps,
-            "eps={eps}: ratio {ratio} exceeds 3/eps"
-        );
+        assert!(ratio <= 3.0 / eps, "eps={eps}: ratio {ratio} exceeds 3/eps");
     }
 }
 
@@ -96,7 +93,11 @@ fn bwf_beats_fifo_weighted() {
         .jobs()
         .iter()
         .map(|j| {
-            let w = if rng.gen_range(0..50u32) == 0 { 1_000 } else { 1 };
+            let w = if rng.gen_range(0..50u32) == 0 {
+                1_000
+            } else {
+                1
+            };
             Job::weighted(j.id, j.arrival, w, Arc::clone(&j.dag))
         })
         .collect();

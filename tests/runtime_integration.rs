@@ -7,7 +7,16 @@ use std::time::Duration;
 
 fn burst(n: usize, chunks: usize, iters: u64) -> Vec<(Duration, JobSpec)> {
     (0..n)
-        .map(|_| (Duration::ZERO, JobSpec { chunks, iters_per_chunk: iters, shape: parflow::runtime::JobShape::Flat }))
+        .map(|_| {
+            (
+                Duration::ZERO,
+                JobSpec {
+                    chunks,
+                    iters_per_chunk: iters,
+                    shape: parflow::runtime::JobShape::Flat,
+                },
+            )
+        })
         .collect()
 }
 
@@ -58,7 +67,9 @@ fn parallelism_distributes_chunks_of_wide_job() {
     assert!(multi.stats.successful_steals > 0, "chunks should be stolen");
     assert_eq!(multi.stats.tasks_executed, 8);
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores >= 4 {
         let one = run_workload(&RuntimeConfig::new(1, RtPolicy::AdmitFirst), &workload);
         assert!(

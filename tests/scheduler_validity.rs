@@ -48,7 +48,12 @@ fn workloads() -> Vec<(&'static str, Instance)> {
 }
 
 fn speeds() -> Vec<Speed> {
-    vec![Speed::ONE, Speed::new(11, 10), Speed::new(3, 2), Speed::integer(2)]
+    vec![
+        Speed::ONE,
+        Speed::new(11, 10),
+        Speed::new(3, 2),
+        Speed::integer(2),
+    ]
 }
 
 #[test]
@@ -68,7 +73,9 @@ fn fifo_traces_validate_everywhere() {
 #[test]
 fn bwf_traces_validate_everywhere() {
     for (name, inst) in workloads() {
-        let cfg = SimConfig::new(3).with_speed(Speed::new(11, 10)).with_trace();
+        let cfg = SimConfig::new(3)
+            .with_speed(Speed::new(11, 10))
+            .with_trace();
         let (_, trace) = run_priority(&inst, &cfg, &BiggestWeightFirst);
         assert_eq!(trace.unwrap().validate(&inst), Ok(()), "{name}");
     }

@@ -1,0 +1,211 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Functionally equivalent (work-stealing deque + injector semantics:
+//! LIFO owner end, FIFO steal end) but implemented over
+//! `Mutex<VecDeque>` instead of lock-free buffers. Correctness and
+//! linearizability are preserved; raw throughput is not — which is fine
+//! for offline tests. Networked builds resolve the real crate.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Match crossbeam's no-poisoning behavior: a panicking worker must not
+    // wedge every other worker's deque access.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Outcome of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// Lost a race; retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True if this is `Empty`.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+    /// True if this is `Success`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+    /// True if this is `Retry`.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+    /// Convert to `Option`, keeping only `Success`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Owner end of a work-stealing deque.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// New deque whose owner pops the most recently pushed task.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
+        }
+    }
+
+    /// New deque whose owner pops the least recently pushed task.
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Pop a task from the owner end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.inner);
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    /// True if the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of tasks in the deque.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Create a stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Thief end of a work-stealing deque (steals FIFO).
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of tasks in the deque.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Global FIFO injector queue.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Steal the task at the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of tasks in the queue.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+    }
+}

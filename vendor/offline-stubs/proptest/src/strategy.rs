@@ -1,0 +1,154 @@
+//! Strategy trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore, SampleUniform};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values (no shrinking offline).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident / $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Uniform choice over same-typed strategies (backs `prop_oneof!`).
+#[derive(Clone, Debug)]
+pub struct Union<S> {
+    arms: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Types with a whole-domain strategy via [`any`].
+pub trait ArbValue {
+    /// Draw from the full domain.
+    fn arb_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_primitive {
+    ($($t:ty),+) => {$(
+        impl ArbValue for $t {
+            fn arb_value(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )+};
+}
+arb_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy over a type's full domain (backs `any::<T>()`).
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arb_value(rng)
+    }
+}
+
+/// Whole-domain strategy for `T` (mirror of `proptest::prelude::any`).
+pub fn any<T: ArbValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// Silence the unused-import lint if RngCore stops being needed: it is the
+// trait that gives TestRng its `gen*` methods through `rand::Rng`.
+#[allow(unused)]
+fn _rngcore_in_scope(r: &mut TestRng) -> u64 {
+    RngCore::next_u64(r)
+}

@@ -1,0 +1,5 @@
+/root/repo/vendor/offline-stubs/rand/target/debug/deps/reference-c0a2a69669f55b02.d: tests/reference.rs
+
+/root/repo/vendor/offline-stubs/rand/target/debug/deps/reference-c0a2a69669f55b02: tests/reference.rs
+
+tests/reference.rs:

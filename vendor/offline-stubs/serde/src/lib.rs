@@ -1,0 +1,34 @@
+//! Offline compile-only stand-in for `serde`.
+//!
+//! Provides the trait names the workspace bounds on (`Serialize`,
+//! `Deserialize`, `de::DeserializeOwned`) as blanket-implemented marker
+//! traits, plus no-op derive macros. Actual serialization is NOT
+//! functional offline — `serde_json`'s stub returns errors — and tests
+//! that need real round-trips detect this and skip (see
+//! `vendor/offline-stubs/README.md`).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Deserialization marker traits.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+
+    pub use crate::Deserialize;
+}
+
+/// Serialization marker traits.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` impls; the
+//! offline `serde` stub instead provides blanket impls, so these derives
+//! only need to *accept* the syntax (including `#[serde(...)]` helper
+//! attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attrs); emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attrs); emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

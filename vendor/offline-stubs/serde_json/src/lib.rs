@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The offline `serde` stub has no real serialization machinery, so every
+//! operation here returns a descriptive [`Error`] instead of data. Callers
+//! that treat JSON I/O as fallible (the entire workspace does) degrade
+//! gracefully; tests that require real round-trips probe with
+//! `serde_json::from_str::<i32>("1")` and skip when it fails.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s public surface.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn stubbed(op: &str) -> Self {
+        Error {
+            msg: format!(
+                "serde_json offline stub: {op} unavailable (built without network; \
+                 see vendor/offline-stubs/README.md)"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails offline (the stub cannot produce JSON).
+pub fn to_string<T>(_value: &T) -> Result<String>
+where
+    T: ?Sized + serde::Serialize,
+{
+    Err(Error::stubbed("to_string"))
+}
+
+/// Always fails offline (the stub cannot produce JSON).
+pub fn to_string_pretty<T>(_value: &T) -> Result<String>
+where
+    T: ?Sized + serde::Serialize,
+{
+    Err(Error::stubbed("to_string_pretty"))
+}
+
+/// Always fails offline (the stub cannot parse JSON).
+pub fn from_str<'a, T>(_s: &'a str) -> Result<T>
+where
+    T: serde::Deserialize<'a>,
+{
+    Err(Error::stubbed("from_str"))
+}
