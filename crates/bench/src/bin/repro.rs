@@ -10,16 +10,52 @@
 //! `backlog`, `lemmas`, `scaling`, `variance`, `steal-amount`,
 //! `weighted-ws`, `fault-resilience`, or `all` (default).
 //!
-//! Flags: `--csv DIR` persists every table as CSV. Environment:
-//! `PARFLOW_JOBS=100000` for paper-scale runs, `PARFLOW_SEED` to reseed.
+//! Flags: `--csv DIR` persists every table as CSV; `--list` enumerates
+//! experiment names; `--bench-json PATH` appends an engine-throughput
+//! measurement and writes the [`parflow_bench::throughput::BenchReport`]
+//! JSON (the `BENCH_engine.json` trajectory baseline). Environment:
+//! `PARFLOW_JOBS=100000` for paper-scale runs, `PARFLOW_SEED` to reseed,
+//! `PARFLOW_THREADS` to size the experiment-point thread pool.
 
 use parflow_bench::experiments::{
     backlog, base_seed, burst, equi_ablation, fault_resilience, fig2, fig3, grain, intervals,
     jobs_per_point, lemma_audit, lower_bound, norms, scaling, steal_amount, steal_k, theory_bwf,
     theory_fifo, theory_ws, variance, victim_ablation, weighted_ws,
 };
-use parflow_bench::Reporter;
+use parflow_bench::{throughput, Reporter};
 use parflow_workloads::DistKind;
+
+/// Every experiment name `repro` understands, in run order.
+const EXPERIMENTS: &[&str] = &[
+    "fig2-bing",
+    "fig2-finance",
+    "fig2-lognormal",
+    "fig3",
+    "lower-bound",
+    "theory-fifo",
+    "theory-ws",
+    "theory-bwf",
+    "steal-k",
+    "victim-ablation",
+    "equi",
+    "norms",
+    "grain",
+    "burst",
+    "scaling",
+    "variance",
+    "steal-amount",
+    "weighted-ws",
+    "fault-resilience",
+    "lemmas",
+    "backlog",
+    "intervals",
+];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("usage: repro [--csv DIR] [--bench-json PATH] [--list] [EXPERIMENT...]");
+    std::process::exit(2);
+}
 
 fn banner(title: &str) {
     println!("\n================================================================");
@@ -44,17 +80,44 @@ fn run_fig2(dist: DistKind, panel: &str, reporter: &Reporter) {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    // Extract --csv DIR before treating the rest as experiment names.
+    // Extract flags before treating the rest as experiment names.
     let mut args: Vec<String> = Vec::new();
     let mut reporter = Reporter::stdout_only();
+    let mut bench_json: Option<String> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
-        if a == "--csv" {
-            let dir = it.next().expect("--csv needs a directory");
-            reporter = Reporter::with_csv_dir(dir).expect("create csv dir");
-        } else {
-            args.push(a);
+        match a.as_str() {
+            "--csv" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--csv needs a directory argument"));
+                reporter = Reporter::with_csv_dir(&dir).unwrap_or_else(|e| {
+                    usage_error(&format!("cannot create csv directory `{dir}`: {e}"))
+                });
+            }
+            "--bench-json" => {
+                bench_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--bench-json needs a file path argument")),
+                );
+            }
+            "--list" => {
+                for name in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown flag `{flag}`"));
+            }
+            name if name != "all" && !EXPERIMENTS.contains(&name) => {
+                usage_error(&format!(
+                    "unknown experiment `{name}` (run `repro --list` for names)"
+                ));
+            }
+            _ => args.push(a),
         }
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
@@ -232,5 +295,22 @@ fn main() {
             }
             None => println!("empty instance"),
         }
+    }
+
+    if let Some(path) = bench_json {
+        banner("Engine throughput baseline (--bench-json)");
+        let mut report = throughput::measure(seed);
+        report.repro_wall_seconds = Some(started.elapsed().as_secs_f64());
+        std::fs::write(&path, throughput::to_json(&report))
+            .unwrap_or_else(|e| usage_error(&format!("cannot write bench json `{path}`: {e}")));
+        println!(
+            "ws steal-16: {:.2e} rounds/s, {:.2e} steal-attempts/s",
+            report.ws_steal16.rounds_per_sec, report.ws_steal16.steal_attempts_per_sec
+        );
+        println!(
+            "ws admit-first: {:.2e} rounds/s; centralized FIFO: {:.2e} rounds/s",
+            report.ws_admit.rounds_per_sec, report.centralized_fifo.rounds_per_sec
+        );
+        println!("(bench json written to {path})");
     }
 }

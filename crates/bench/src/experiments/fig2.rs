@@ -6,7 +6,7 @@
 //! admit-first gap widens with load (≈2× at high utilization for Bing and
 //! log-normal).
 
-use super::{jobs_per_point, PAPER_K, PAPER_M};
+use super::{jobs_per_point, par_map, PAPER_K, PAPER_M};
 use parflow_core::{opt_max_flow, simulate_worksteal, SimConfig, StealPolicy};
 use parflow_metrics::Table;
 use parflow_workloads::{DistKind, WorkloadSpec, TICKS_PER_SECOND};
@@ -58,35 +58,32 @@ pub fn run(dist: DistKind, seed: u64) -> Vec<Fig2Point> {
 /// paper's TBB runtime where a steal is ~10⁴× cheaper than a work unit.
 pub fn run_sized(dist: DistKind, seed: u64, n_jobs: usize, m: usize) -> Vec<Fig2Point> {
     let cfg = SimConfig::new(m).with_free_steals();
-    paper_qps(dist)
-        .iter()
-        .map(|&qps| {
-            let spec = WorkloadSpec::paper_fig2(dist, qps, n_jobs, seed);
-            let inst = spec.generate();
-            let to_ms = 1000.0 / TICKS_PER_SECOND;
-            let opt = opt_max_flow(&inst, m).to_f64() * to_ms;
-            let steal_k = simulate_worksteal(
-                &inst,
-                &cfg,
-                StealPolicy::StealKFirst { k: PAPER_K },
-                seed ^ 0xA5,
-            )
+    par_map(paper_qps(dist).to_vec(), |qps| {
+        let spec = WorkloadSpec::paper_fig2(dist, qps, n_jobs, seed);
+        let inst = spec.generate();
+        let to_ms = 1000.0 / TICKS_PER_SECOND;
+        let opt = opt_max_flow(&inst, m).to_f64() * to_ms;
+        let steal_k = simulate_worksteal(
+            &inst,
+            &cfg,
+            StealPolicy::StealKFirst { k: PAPER_K },
+            seed ^ 0xA5,
+        )
+        .max_flow()
+        .to_f64()
+            * to_ms;
+        let admit = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ 0x5A)
             .max_flow()
             .to_f64()
-                * to_ms;
-            let admit = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ 0x5A)
-                .max_flow()
-                .to_f64()
-                * to_ms;
-            Fig2Point {
-                qps,
-                utilization: inst.utilization(m).map(|u| u.to_f64()).unwrap_or(0.0),
-                opt_ms: opt,
-                steal_k_ms: steal_k,
-                admit_ms: admit,
-            }
-        })
-        .collect()
+            * to_ms;
+        Fig2Point {
+            qps,
+            utilization: inst.utilization(m).map(|u| u.to_f64()).unwrap_or(0.0),
+            opt_ms: opt,
+            steal_k_ms: steal_k,
+            admit_ms: admit,
+        }
+    })
 }
 
 /// Render the paper-style rows.

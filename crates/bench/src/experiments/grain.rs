@@ -34,35 +34,32 @@ pub fn default_grains() -> Vec<u64> {
 pub fn run(grains: &[u64], qps: f64, n_jobs: usize, seed: u64) -> Vec<GrainPoint> {
     let cfg = SimConfig::new(PAPER_M).with_free_steals();
     let to_ms = 1000.0 / TICKS_PER_SECOND;
-    grains
-        .iter()
-        .map(|&grain| {
-            let spec = WorkloadSpec {
-                dist: DistKind::Bing,
-                shape: ShapeKind::ParallelFor { grain },
-                qps: Some(qps),
-                period_ticks: 0,
-                n_jobs,
-                seed,
-            };
-            let inst = spec.generate();
-            let mean_span =
-                inst.jobs().iter().map(|j| j.span() as f64).sum::<f64>() / inst.len().max(1) as f64;
-            let flow = simulate_worksteal(
-                &inst,
-                &cfg,
-                StealPolicy::StealKFirst { k: 16 },
-                seed ^ grain,
-            )
-            .max_flow();
-            GrainPoint {
-                grain,
-                mean_span,
-                max_flow_ms: flow.to_f64() * to_ms,
-                opt_ms: opt_max_flow(&inst, PAPER_M).to_f64() * to_ms,
-            }
-        })
-        .collect()
+    super::par_map(grains.to_vec(), |grain| {
+        let spec = WorkloadSpec {
+            dist: DistKind::Bing,
+            shape: ShapeKind::ParallelFor { grain },
+            qps: Some(qps),
+            period_ticks: 0,
+            n_jobs,
+            seed,
+        };
+        let inst = spec.generate();
+        let mean_span =
+            inst.jobs().iter().map(|j| j.span() as f64).sum::<f64>() / inst.len().max(1) as f64;
+        let flow = simulate_worksteal(
+            &inst,
+            &cfg,
+            StealPolicy::StealKFirst { k: 16 },
+            seed ^ grain,
+        )
+        .max_flow();
+        GrainPoint {
+            grain,
+            mean_span,
+            max_flow_ms: flow.to_f64() * to_ms,
+            opt_ms: opt_max_flow(&inst, PAPER_M).to_f64() * to_ms,
+        }
+    })
 }
 
 /// Render rows.

@@ -48,22 +48,20 @@ pub fn jobs_for_m(m: usize, max_n: usize) -> usize {
 
 /// Run the sweep over processor counts.
 pub fn run(ms: &[usize], max_n: usize, seed: u64) -> Vec<LbPoint> {
-    ms.iter()
-        .map(|&m| {
-            let n = jobs_for_m(m, max_n);
-            let inst = lower_bound_instance(n, m);
-            let cfg = SimConfig::new(m);
-            let ws = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ m as u64);
-            let fifo = simulate_fifo(&inst, &cfg);
-            LbPoint {
-                m,
-                n,
-                ws_max_flow: ws.max_flow().to_f64(),
-                fifo_max_flow: fifo.max_flow().to_f64(),
-                opt: opt_max_flow(&inst, m).to_f64().max(2.0),
-            }
-        })
-        .collect()
+    super::par_map(ms.to_vec(), |m| {
+        let n = jobs_for_m(m, max_n);
+        let inst = lower_bound_instance(n, m);
+        let cfg = SimConfig::new(m);
+        let ws = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ m as u64);
+        let fifo = simulate_fifo(&inst, &cfg);
+        LbPoint {
+            m,
+            n,
+            ws_max_flow: ws.max_flow().to_f64(),
+            fifo_max_flow: fifo.max_flow().to_f64(),
+            opt: opt_max_flow(&inst, m).to_f64().max(2.0),
+        }
+    })
 }
 
 /// Default sweep for `repro lower-bound`.

@@ -34,31 +34,29 @@ pub fn default_ms() -> Vec<usize> {
 /// Run the sweep at ~65 % utilization on the Bing workload.
 pub fn run(ms: &[usize], n_jobs: usize, seed: u64) -> Vec<ScalingPoint> {
     let to_ms = 1000.0 / TICKS_PER_SECOND;
-    ms.iter()
-        .map(|&m| {
-            let qps = qps_for_utilization(DistKind::Bing, m, 0.65);
-            let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, n_jobs, seed).generate();
-            let cfg = SimConfig::new(m).with_free_steals();
-            ScalingPoint {
-                m,
-                qps,
-                opt_ms: opt_max_flow(&inst, m).to_f64() * to_ms,
-                steal_ms: simulate_worksteal(
-                    &inst,
-                    &cfg,
-                    StealPolicy::StealKFirst { k: 16 },
-                    seed ^ m as u64,
-                )
+    super::par_map(ms.to_vec(), |m| {
+        let qps = qps_for_utilization(DistKind::Bing, m, 0.65);
+        let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, n_jobs, seed).generate();
+        let cfg = SimConfig::new(m).with_free_steals();
+        ScalingPoint {
+            m,
+            qps,
+            opt_ms: opt_max_flow(&inst, m).to_f64() * to_ms,
+            steal_ms: simulate_worksteal(
+                &inst,
+                &cfg,
+                StealPolicy::StealKFirst { k: 16 },
+                seed ^ m as u64,
+            )
+            .max_flow()
+            .to_f64()
+                * to_ms,
+            admit_ms: simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ m as u64)
                 .max_flow()
                 .to_f64()
-                    * to_ms,
-                admit_ms: simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ m as u64)
-                    .max_flow()
-                    .to_f64()
-                    * to_ms,
-            }
-        })
-        .collect()
+                * to_ms,
+        }
+    })
 }
 
 /// Render rows.

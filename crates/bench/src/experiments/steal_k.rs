@@ -46,27 +46,30 @@ pub fn run(ks: &[u32], qps_list: &[f64], seed: u64) -> Vec<StealKPoint> {
 pub fn run_sized(ks: &[u32], qps_list: &[f64], seed: u64, n_jobs: usize) -> Vec<StealKPoint> {
     let cfg = SimConfig::new(PAPER_M).with_free_steals();
     let to_ms = 1000.0 / TICKS_PER_SECOND;
-    let mut out = Vec::new();
-    for &qps in qps_list {
+    // Parallelize over (qps, k) pairs; the instance is regenerated per pair
+    // rather than shared so every point is self-contained. Input order is
+    // preserved, so rows come out exactly as the serial nested loop emitted
+    // them.
+    let points: Vec<(f64, u32)> = qps_list
+        .iter()
+        .flat_map(|&qps| ks.iter().map(move |&k| (qps, k)))
+        .collect();
+    super::par_map(points, |(qps, k)| {
         let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, n_jobs, seed).generate();
         let opt_ms = opt_max_flow(&inst, PAPER_M).to_f64() * to_ms;
-        for &k in ks {
-            let policy = if k == 0 {
-                StealPolicy::AdmitFirst
-            } else {
-                StealPolicy::StealKFirst { k }
-            };
-            let flow =
-                simulate_worksteal(&inst, &cfg, policy, seed ^ ((k as u64) << 16)).max_flow();
-            out.push(StealKPoint {
-                k,
-                qps,
-                max_flow_ms: flow.to_f64() * to_ms,
-                opt_ms,
-            });
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        let flow = simulate_worksteal(&inst, &cfg, policy, seed ^ ((k as u64) << 16)).max_flow();
+        StealKPoint {
+            k,
+            qps,
+            max_flow_ms: flow.to_f64() * to_ms,
+            opt_ms,
         }
-    }
-    out
+    })
 }
 
 /// Render rows.

@@ -33,36 +33,36 @@ pub struct WsPoint {
 
 /// Run the sweep: `k ∈ ks`, fixed ε = 1/2, growing n.
 pub fn run(ks: &[u32], ns: &[usize], seed: u64) -> Vec<WsPoint> {
-    let mut out = Vec::new();
-    for &k in ks {
-        for &n in ns {
-            // Speed = k + 1 + ε with ε = 1/2 → (2k + 3) / 2.
-            let speed = Speed::new(2 * (k as u64) + 3, 2);
-            let epsilon = 0.5;
-            let qps = parflow_workloads::qps_for_utilization(DistKind::Bing, PAPER_M, 0.9);
-            let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, n, seed ^ n as u64).generate();
-            let cfg = SimConfig::new(PAPER_M).with_speed(speed);
-            let policy = if k == 0 {
-                StealPolicy::AdmitFirst
-            } else {
-                StealPolicy::StealKFirst { k }
-            };
-            let flow = simulate_worksteal(&inst, &cfg, policy, seed ^ (k as u64) << 8)
-                .max_flow()
-                .to_f64();
-            let opt = opt_max_flow(&inst, PAPER_M).to_f64();
-            let denom = opt.max((n as f64).ln());
-            out.push(WsPoint {
-                k,
-                epsilon,
-                n,
-                ws_max_flow: flow,
-                denom,
-                normalized: flow / denom,
-            });
+    let pairs: Vec<(u32, usize)> = ks
+        .iter()
+        .flat_map(|&k| ns.iter().map(move |&n| (k, n)))
+        .collect();
+    super::par_map(pairs, |(k, n)| {
+        // Speed = k + 1 + ε with ε = 1/2 → (2k + 3) / 2.
+        let speed = Speed::new(2 * (k as u64) + 3, 2);
+        let epsilon = 0.5;
+        let qps = parflow_workloads::qps_for_utilization(DistKind::Bing, PAPER_M, 0.9);
+        let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, n, seed ^ n as u64).generate();
+        let cfg = SimConfig::new(PAPER_M).with_speed(speed);
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        let flow = simulate_worksteal(&inst, &cfg, policy, seed ^ (k as u64) << 8)
+            .max_flow()
+            .to_f64();
+        let opt = opt_max_flow(&inst, PAPER_M).to_f64();
+        let denom = opt.max((n as f64).ln());
+        WsPoint {
+            k,
+            epsilon,
+            n,
+            ws_max_flow: flow,
+            denom,
+            normalized: flow / denom,
         }
-    }
-    out
+    })
 }
 
 /// Render rows.

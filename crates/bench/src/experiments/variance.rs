@@ -52,14 +52,12 @@ pub fn run(qps: f64, n_jobs: usize, runs: usize, seed: u64) -> Vec<VariancePoint
 
     let fifo = simulate_fifo(&inst, &cfg).max_flow().to_f64() * to_ms;
     let collect = |policy: StealPolicy| -> Vec<f64> {
-        (0..runs)
-            .map(|i| {
-                simulate_worksteal(&inst, &cfg, policy, seed ^ (i as u64 + 1))
-                    .max_flow()
-                    .to_f64()
-                    * to_ms
-            })
-            .collect()
+        super::par_map((0..runs).collect(), |i| {
+            simulate_worksteal(&inst, &cfg, policy, seed ^ (i as u64 + 1))
+                .max_flow()
+                .to_f64()
+                * to_ms
+        })
     };
     vec![
         summarize("FIFO (deterministic)", &[fifo]),

@@ -45,25 +45,23 @@ pub struct VictimPoint {
 
 /// Run the sweep (same sizing as the lower-bound experiment).
 pub fn run(ms: &[usize], max_n: usize, seed: u64) -> Vec<VictimPoint> {
-    ms.iter()
-        .map(|&m| {
-            let n = super::lower_bound::jobs_for_m(m, max_n);
-            let inst = lower_bound_instance(n, m);
-            let flow = |cfg: &SimConfig| {
-                simulate_worksteal(&inst, cfg, StealPolicy::AdmitFirst, seed ^ m as u64)
-                    .max_flow()
-                    .to_f64()
-            };
-            VictimPoint {
-                m,
-                n,
-                uniform_unit: flow(&SimConfig::new(m)),
-                scan_unit: flow(&SimConfig::new(m).with_victim_scan()),
-                uniform_free: flow(&SimConfig::new(m).with_free_steals()),
-                opt: opt_max_flow(&inst, m).to_f64().max(2.0),
-            }
-        })
-        .collect()
+    super::par_map(ms.to_vec(), |m| {
+        let n = super::lower_bound::jobs_for_m(m, max_n);
+        let inst = lower_bound_instance(n, m);
+        let flow = |cfg: &SimConfig| {
+            simulate_worksteal(&inst, cfg, StealPolicy::AdmitFirst, seed ^ m as u64)
+                .max_flow()
+                .to_f64()
+        };
+        VictimPoint {
+            m,
+            n,
+            uniform_unit: flow(&SimConfig::new(m)),
+            scan_unit: flow(&SimConfig::new(m).with_victim_scan()),
+            uniform_free: flow(&SimConfig::new(m).with_free_steals()),
+            opt: opt_max_flow(&inst, m).to_f64().max(2.0),
+        }
+    })
 }
 
 /// Render rows.

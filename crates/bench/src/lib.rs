@@ -22,5 +22,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 
 pub use report::Reporter;

@@ -1,0 +1,170 @@
+//! Engine throughput measurement: the bench trajectory baseline.
+//!
+//! Wall-clock throughput (rounds/sec, steal-attempts/sec) is inherently
+//! machine- and run-dependent, so it lives here at the bench layer —
+//! [`parflow_core::EngineStats`] stays a purely deterministic counter set
+//! that golden and differential tests can compare bit-for-bit.
+//!
+//! `repro --bench-json PATH` serializes a [`BenchReport`] for the committed
+//! `BENCH_engine.json` baseline; `scripts/bench_check` regenerates one and
+//! fails CI on a >2× throughput regression against that baseline.
+
+use crate::experiments::{jobs_per_point, PAPER_K, PAPER_M};
+use parflow_core::{run_priority, simulate_worksteal, Fifo, SimConfig, StealPolicy};
+use parflow_workloads::{DistKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput of one engine configuration on the probe instance.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EngineThroughput {
+    /// Simulated rounds advanced.
+    pub rounds: u64,
+    /// Steal attempts issued (0 for the centralized engine).
+    pub steal_attempts: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// `rounds / wall_seconds`.
+    pub rounds_per_sec: f64,
+    /// `steal_attempts / wall_seconds` (0 for the centralized engine).
+    pub steal_attempts_per_sec: f64,
+}
+
+impl EngineThroughput {
+    fn new(rounds: u64, steal_attempts: u64, wall_seconds: f64) -> Self {
+        let secs = wall_seconds.max(1e-9);
+        EngineThroughput {
+            rounds,
+            steal_attempts,
+            wall_seconds,
+            rounds_per_sec: rounds as f64 / secs,
+            steal_attempts_per_sec: steal_attempts as f64 / secs,
+        }
+    }
+}
+
+/// The full baseline document written by `repro --bench-json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Format version for forward compatibility.
+    pub schema: u32,
+    /// Jobs per probe instance (`PARFLOW_JOBS`-sensitive).
+    pub jobs: usize,
+    /// Processors in the probe instance.
+    pub m: usize,
+    /// Work-stealing engine, steal-16-first, free steals (Fig. 2 model).
+    pub ws_steal16: EngineThroughput,
+    /// Work-stealing engine, admit-first, free steals.
+    pub ws_admit: EngineThroughput,
+    /// Centralized FIFO engine (event-horizon stepping).
+    pub centralized_fifo: EngineThroughput,
+    /// Wall-clock seconds of the enclosing `repro` invocation, when the
+    /// caller timed one (e.g. `repro all --bench-json`).
+    pub repro_wall_seconds: Option<f64>,
+}
+
+/// Run the fixed throughput probes.
+///
+/// One Bing instance at QPS 1000 (the Figure 2 midpoint) drives all three
+/// engine configurations, so the numbers are comparable across PRs as long
+/// as `PARFLOW_JOBS` and the seed stay at their defaults.
+pub fn measure(seed: u64) -> BenchReport {
+    let n = jobs_per_point().min(20_000);
+    let m = PAPER_M;
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, n, seed).generate();
+    let cfg = SimConfig::new(m).with_free_steals();
+
+    let t = Instant::now();
+    let r = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: PAPER_K }, seed);
+    let ws_steal16 = EngineThroughput::new(
+        r.total_rounds,
+        r.stats.steal_attempts,
+        t.elapsed().as_secs_f64(),
+    );
+
+    let t = Instant::now();
+    let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed);
+    let ws_admit = EngineThroughput::new(
+        r.total_rounds,
+        r.stats.steal_attempts,
+        t.elapsed().as_secs_f64(),
+    );
+
+    let t = Instant::now();
+    let (r, _) = run_priority(&inst, &SimConfig::new(m), &Fifo);
+    let centralized_fifo = EngineThroughput::new(r.total_rounds, 0, t.elapsed().as_secs_f64());
+
+    BenchReport {
+        schema: 1,
+        jobs: n,
+        m,
+        ws_steal16,
+        ws_admit,
+        centralized_fifo,
+        repro_wall_seconds: None,
+    }
+}
+
+/// Serialize `report` to pretty JSON with a trailing newline.
+///
+/// Hand-rolled: the offline `serde_json` stub cannot serialize, and this
+/// fixed schema is trivial to emit directly. The derives stay on the types
+/// so real `serde_json` round-trips work when the workspace is built with
+/// the genuine dependency.
+pub fn to_json(report: &BenchReport) -> String {
+    fn engine(name: &str, e: &EngineThroughput) -> String {
+        format!(
+            "  \"{name}\": {{\n    \"rounds\": {},\n    \"steal_attempts\": {},\n    \
+             \"wall_seconds\": {:.6},\n    \"rounds_per_sec\": {:.1},\n    \
+             \"steal_attempts_per_sec\": {:.1}\n  }}",
+            e.rounds, e.steal_attempts, e.wall_seconds, e.rounds_per_sec, e.steal_attempts_per_sec
+        )
+    }
+    let wall = match report.repro_wall_seconds {
+        Some(w) => format!("{w:.3}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"schema\": {},\n  \"jobs\": {},\n  \"m\": {},\n{},\n{},\n{},\n  \
+         \"repro_wall_seconds\": {}\n}}\n",
+        report.schema,
+        report.jobs,
+        report.m,
+        engine("ws_steal16", &report.ws_steal16),
+        engine("ws_admit", &report.ws_admit),
+        engine("centralized_fifo", &report.centralized_fifo),
+        wall
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_runs_and_roundtrips() {
+        std::env::set_var("PARFLOW_JOBS", "2000");
+        let rep = measure(7);
+        std::env::remove_var("PARFLOW_JOBS");
+        assert!(rep.ws_steal16.rounds > 0);
+        assert!(rep.ws_steal16.steal_attempts > 0);
+        assert!(rep.ws_steal16.rounds_per_sec > 0.0);
+        assert!(rep.ws_admit.rounds > 0);
+        assert!(rep.centralized_fifo.rounds > 0);
+        assert_eq!(rep.centralized_fifo.steal_attempts, 0);
+        let json = to_json(&rep);
+        for key in [
+            "\"schema\": 1",
+            "\"ws_steal16\"",
+            "\"ws_admit\"",
+            "\"centralized_fifo\"",
+            "\"rounds_per_sec\"",
+            "\"repro_wall_seconds\": null",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Exactly one rounds_per_sec line per engine, in declaration order
+        // (scripts/bench_check reads them positionally).
+        assert_eq!(json.matches("\"rounds_per_sec\"").count(), 3);
+    }
+}

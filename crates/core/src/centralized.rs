@@ -13,8 +13,11 @@ use crate::config::SimConfig;
 use crate::fault::JobStatus;
 use crate::result::{EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
-use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, UnitOutcome};
+use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, StepOutcome};
 use parflow_time::Round;
+
+#[cfg(any(test, feature = "reference-engine"))]
+use parflow_dag::UnitOutcome;
 
 /// A total priority order over jobs, fixed at arrival.
 ///
@@ -90,8 +93,17 @@ impl JobPriority for ShortestJobFirst {
 /// Simulate a centralized priority scheduler on `instance`.
 ///
 /// Returns the per-job outcomes plus, if `config.record_trace`, the full
-/// [`ScheduleTrace`]. Runs in `O((rounds)·(m + active jobs))` time; rounds
-/// with no active jobs are skipped unless a trace is recorded.
+/// [`ScheduleTrace`].
+///
+/// The engine steps by **event horizons** rather than single rounds: the
+/// engine is deterministic and the assignment rule depends only on the
+/// active set and the jobs' ready frontiers, so between two consecutive
+/// events (a job arrival or a node completion) every round repeats the
+/// same processor assignment. The engine computes that assignment once,
+/// derives the span `Δ = min(next arrival, earliest node completion)` and
+/// consumes all `Δ` rounds in one bulk update — bit-identical to the
+/// round-by-round reference (see `run_priority_reference`), but
+/// `O(events)` instead of `O(rounds)` assignment work.
 pub fn run_priority<P: JobPriority>(
     instance: &Instance,
     config: &SimConfig,
@@ -108,7 +120,7 @@ pub fn run_priority<P: JobPriority>(
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
     let mut started: Vec<Option<Round>> = vec![None; n];
     let mut stats = EngineStats::default();
-    let mut trace_rounds: Vec<Vec<Action>> = Vec::new();
+    let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
 
     let mut next_arrival = 0usize;
     let mut completed = 0usize;
@@ -125,6 +137,7 @@ pub fn run_priority<P: JobPriority>(
     // Reusable buffers.
     let mut claimed: Vec<(JobId, NodeId)> = Vec::new();
     let mut ready_buf: Vec<NodeId> = Vec::new();
+    let mut ready_scratch: Vec<NodeId> = Vec::new();
 
     while completed < n {
         assert!(round <= safety_cap, "centralized engine exceeded round cap");
@@ -140,17 +153,15 @@ pub fn run_priority<P: JobPriority>(
         }
 
         if active.is_empty() {
-            // Quiescent: fast-forward to the next arrival (or emit idle
-            // rounds when tracing, to keep the trace gap-free).
+            // Quiescent: fast-forward to the next arrival (run-length
+            // encoded as one idle span when tracing).
             debug_assert!(next_arrival < n, "no active jobs but none left to arrive");
             let target = speed.first_round_at_or_after(jobs[next_arrival].arrival);
             debug_assert!(target > round);
             let gap = target - round;
             stats.idle_steps += gap * m as u64;
-            if config.record_trace {
-                for _ in 0..gap {
-                    trace_rounds.push(vec![Action::Idle; m]);
-                }
+            if let Some(t) = trace.as_mut() {
+                t.push_idle_rounds(gap);
             }
             round = target;
             continue;
@@ -178,7 +189,183 @@ pub fn run_priority<P: JobPriority>(
         }
         debug_assert!(!claimed.is_empty(), "active jobs must yield ready nodes");
 
-        // Execution phase: one unit on every claimed node.
+        // Event horizon: the assignment above repeats verbatim until a
+        // claimed node completes or a new job arrives, whichever is first.
+        let mut delta: Round = claimed
+            .iter()
+            .map(|&(jid, v)| {
+                cursors[jid as usize]
+                    .as_ref()
+                    .expect("cursor")
+                    .remaining_work(v)
+                    .expect("claimed node in range")
+            })
+            .min()
+            .expect("claimed non-empty");
+        if next_arrival < n {
+            // ≥ 1: everything due by `round` was activated above.
+            delta = delta.min(speed.first_round_at_or_after(jobs[next_arrival].arrival) - round);
+        }
+        debug_assert!(delta >= 1);
+        let last = round + delta - 1;
+
+        // Execution phase: `delta` units on every claimed node. Nodes
+        // whose remaining work equals `delta` complete during the final
+        // round of the span, exactly where the reference engine completes
+        // them; everything else is released for the next assignment.
+        for &(jid, v) in &claimed {
+            let job = &jobs[jid as usize];
+            started[jid as usize].get_or_insert(round);
+            let cursor = cursors[jid as usize].as_mut().expect("cursor");
+            ready_scratch.clear();
+            match cursor
+                .execute_units(&job.dag, v, delta, &mut ready_scratch)
+                .expect("claimed node executes")
+            {
+                StepOutcome::InProgress => {
+                    cursor.release(v).expect("in-progress node releases");
+                }
+                StepOutcome::NodeCompleted { job_completed } => {
+                    if job_completed {
+                        let key = policy.key(job);
+                        let pos = active
+                            .iter()
+                            .position(|&(k, j)| k == key && j == jid)
+                            .expect("completed job was active");
+                        active.remove(pos);
+                        outcomes[jid as usize] = Some(JobOutcome {
+                            job: jid,
+                            arrival: job.arrival,
+                            weight: job.weight,
+                            start_round: started[jid as usize].expect("job executed"),
+                            completion_round: last,
+                            completion: speed.round_end(last),
+                            flow: speed.flow_time(job.arrival, last),
+                            status: JobStatus::Completed,
+                        });
+                        completed += 1;
+                    }
+                }
+            }
+        }
+
+        stats.work_steps += delta * claimed.len() as u64;
+        stats.idle_steps += delta * (m - claimed.len()) as u64;
+        last_busy_round = last;
+
+        if let Some(t) = trace.as_mut() {
+            let mut row: Vec<Action> = claimed
+                .iter()
+                .map(|&(job, node)| Action::Work { job, node })
+                .collect();
+            row.resize(m, Action::Idle);
+            for _ in 1..delta {
+                t.push_row(row.clone());
+            }
+            t.push_row(row);
+        }
+
+        round += delta;
+    }
+
+    let outcomes: Vec<JobOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("all jobs completed"))
+        .collect();
+    let result = SimResult {
+        m,
+        speed,
+        total_rounds: last_busy_round + 1,
+        outcomes,
+        stats,
+        samples: Vec::new(),
+        fault_events: Vec::new(),
+    };
+    (result, trace)
+}
+
+/// The original round-by-round engine, kept verbatim as the behavioural
+/// reference for the event-horizon fast path in [`run_priority`].
+///
+/// Compiled only for tests and under the `reference-engine` feature (used
+/// by the cross-crate differential suite); production callers always get
+/// the fast engine.
+#[cfg(any(test, feature = "reference-engine"))]
+pub fn run_priority_reference<P: JobPriority>(
+    instance: &Instance,
+    config: &SimConfig,
+    policy: &P,
+) -> (SimResult, Option<ScheduleTrace>) {
+    let jobs = instance.jobs();
+    let n = jobs.len();
+    let m = config.m;
+    let speed = config.speed;
+
+    let mut cursors: Vec<Option<DagCursor>> = vec![None; n];
+    let mut active: Vec<((u64, u64, u32), JobId)> = Vec::new();
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
+    let mut started: Vec<Option<Round>> = vec![None; n];
+    let mut stats = EngineStats::default();
+    let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
+
+    let mut next_arrival = 0usize;
+    let mut completed = 0usize;
+    let mut round: Round = 0;
+    let mut last_busy_round: Round = 0;
+
+    let safety_cap: Round = speed.first_round_at_or_after(instance.last_arrival())
+        + instance.total_work()
+        + n as Round
+        + 16;
+
+    let mut claimed: Vec<(JobId, NodeId)> = Vec::new();
+    let mut ready_buf: Vec<NodeId> = Vec::new();
+
+    while completed < n {
+        assert!(round <= safety_cap, "centralized engine exceeded round cap");
+
+        while next_arrival < n && speed.arrived_by_round(jobs[next_arrival].arrival, round) {
+            let job = &jobs[next_arrival];
+            let key = policy.key(job);
+            let pos = active.partition_point(|&(k, _)| k < key);
+            active.insert(pos, (key, job.id));
+            cursors[job.id as usize] = Some(DagCursor::new(&job.dag));
+            next_arrival += 1;
+        }
+
+        if active.is_empty() {
+            debug_assert!(next_arrival < n, "no active jobs but none left to arrive");
+            let target = speed.first_round_at_or_after(jobs[next_arrival].arrival);
+            debug_assert!(target > round);
+            let gap = target - round;
+            stats.idle_steps += gap * m as u64;
+            if let Some(t) = trace.as_mut() {
+                t.push_idle_rounds(gap);
+            }
+            round = target;
+            continue;
+        }
+
+        claimed.clear();
+        let mut avail = m;
+        for &(_, jid) in active.iter() {
+            if avail == 0 {
+                break;
+            }
+            let cursor = cursors[jid as usize]
+                .as_mut()
+                .expect("active job has cursor");
+            ready_buf.clear();
+            ready_buf.extend_from_slice(cursor.ready_nodes());
+            ready_buf.sort_unstable();
+            for &v in ready_buf.iter().take(avail) {
+                cursor.claim(v).expect("ready node claimable");
+                claimed.push((jid, v));
+            }
+            avail -= ready_buf.len().min(avail);
+        }
+        debug_assert!(!claimed.is_empty(), "active jobs must yield ready nodes");
+
         for &(jid, v) in &claimed {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
@@ -218,13 +405,13 @@ pub fn run_priority<P: JobPriority>(
         stats.idle_steps += (m - claimed.len()) as u64;
         last_busy_round = round;
 
-        if config.record_trace {
+        if let Some(t) = trace.as_mut() {
             let mut row: Vec<Action> = claimed
                 .iter()
                 .map(|&(job, node)| Action::Work { job, node })
                 .collect();
             row.resize(m, Action::Idle);
-            trace_rounds.push(row);
+            t.push_row(row);
         }
 
         round += 1;
@@ -243,11 +430,6 @@ pub fn run_priority<P: JobPriority>(
         samples: Vec::new(),
         fault_events: Vec::new(),
     };
-    let trace = config.record_trace.then_some(ScheduleTrace {
-        m,
-        speed,
-        rounds: trace_rounds,
-    });
     (result, trace)
 }
 
@@ -449,6 +631,44 @@ mod tests {
         let r = simulate_fifo(&inst, &SimConfig::new(2));
         assert!(r.outcomes.is_empty());
         assert_eq!(r.max_flow(), Rational::ZERO);
+    }
+
+    #[test]
+    fn event_horizon_matches_reference() {
+        // Mixed sequential/parallel jobs with arrival gaps, run at unit,
+        // integer and fractional speeds: the bulk-stepping engine must be
+        // bit-identical to the round-by-round reference — outcomes, stats,
+        // round counts and the full trace.
+        let mut jobs = vec![
+            parflow_dag::Job::new(0, 0, Arc::new(shapes::single_node(17))),
+            parflow_dag::Job::new(1, 3, Arc::new(shapes::diamond(5, 3))),
+            parflow_dag::Job::weighted(2, 4, 9, Arc::new(shapes::fork_join(2, 4))),
+            parflow_dag::Job::new(3, 40, Arc::new(shapes::single_node(2))),
+        ];
+        for i in 4..10u32 {
+            jobs.push(parflow_dag::Job::new(
+                i,
+                (i as u64) * 5,
+                Arc::new(shapes::chain(3, 2)),
+            ));
+        }
+        let inst = Instance::new(jobs);
+        for speed in [Speed::ONE, Speed::integer(2), Speed::new(11, 10)] {
+            for m in [1usize, 2, 4] {
+                let cfg = SimConfig::new(m).with_speed(speed).with_trace();
+                let (fast, ft) = run_priority(&inst, &cfg, &Fifo);
+                let (slow, st) = run_priority_reference(&inst, &cfg, &Fifo);
+                assert_eq!(fast.outcomes, slow.outcomes, "m={m} s={speed}");
+                assert_eq!(fast.stats, slow.stats, "m={m} s={speed}");
+                assert_eq!(fast.total_rounds, slow.total_rounds, "m={m} s={speed}");
+                assert_eq!(ft.unwrap().spans, st.unwrap().spans, "m={m} s={speed}");
+
+                let (fast_b, _) = run_priority(&inst, &cfg, &BiggestWeightFirst);
+                let (slow_b, _) = run_priority_reference(&inst, &cfg, &BiggestWeightFirst);
+                assert_eq!(fast_b.outcomes, slow_b.outcomes, "bwf m={m} s={speed}");
+                assert_eq!(fast_b.stats, slow_b.stats, "bwf m={m} s={speed}");
+            }
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
     let mut started: Vec<Option<Round>> = vec![None; n];
     let mut stats = EngineStats::default();
-    let mut trace_rounds: Vec<Vec<Action>> = Vec::new();
+    let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
 
     let mut next_arrival = 0usize;
     let mut completed = 0usize;
@@ -62,10 +62,8 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
             let target = speed.first_round_at_or_after(jobs[next_arrival].arrival);
             let gap = target - round;
             stats.idle_steps += gap * m as u64;
-            if config.record_trace {
-                for _ in 0..gap {
-                    trace_rounds.push(vec![Action::Idle; m]);
-                }
+            if let Some(t) = trace.as_mut() {
+                t.push_idle_rounds(gap);
             }
             round = target;
             continue;
@@ -149,13 +147,13 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
         stats.work_steps += claimed.len() as u64;
         stats.idle_steps += (m - claimed.len()) as u64;
         last_busy_round = round;
-        if config.record_trace {
+        if let Some(t) = trace.as_mut() {
             let mut row: Vec<Action> = claimed
                 .iter()
                 .map(|&(job, node)| Action::Work { job, node })
                 .collect();
             row.resize(m, Action::Idle);
-            trace_rounds.push(row);
+            t.push_row(row);
         }
         round += 1;
     }
@@ -174,11 +172,7 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
             samples: Vec::new(),
             fault_events: Vec::new(),
         },
-        config.record_trace.then_some(ScheduleTrace {
-            m,
-            speed,
-            rounds: trace_rounds,
-        }),
+        trace,
     )
 }
 

@@ -20,8 +20,9 @@ fn job_symbol(job: JobId) -> char {
 ///
 /// Intended for small windows (`to − from` up to ~120 columns).
 pub fn render_gantt(trace: &ScheduleTrace, from: Round, to: Round) -> String {
-    let from = (from as usize).min(trace.rounds.len());
-    let to = (to as usize).clamp(from, trace.rounds.len());
+    let num_rounds = trace.num_rounds() as usize;
+    let from = (from as usize).min(num_rounds);
+    let to = (to as usize).clamp(from, num_rounds);
     let width = to - from;
     let mut out = String::new();
 
@@ -32,11 +33,15 @@ pub fn render_gantt(trace: &ScheduleTrace, from: Round, to: Round) -> String {
     }
     out.push('\n');
 
+    // Materialize the window once (the trace stores idle stretches
+    // run-length encoded; `rounds()` yields `None` for idle rounds).
+    let window: Vec<Option<&[Action]>> = trace.rounds().skip(from).take(to - from).collect();
+
     let mut seen: Vec<JobId> = Vec::new();
     for p in 0..trace.m {
         let _ = write!(out, "  P{p:<3} ");
-        for row in &trace.rounds[from..to] {
-            let c = match row.get(p) {
+        for row in &window {
+            let c = match row.and_then(|r| r.get(p)) {
                 Some(Action::Work { job, .. }) => {
                     if !seen.contains(job) {
                         seen.push(*job);

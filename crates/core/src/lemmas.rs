@@ -46,13 +46,16 @@ impl RoundActivity {
     /// Extract activity from a trace.
     pub fn from_trace(trace: &ScheduleTrace) -> Self {
         let m = trace.m;
-        let mut work = Vec::with_capacity(trace.rounds.len());
-        let mut idling = Vec::with_capacity(trace.rounds.len());
-        for row in &trace.rounds {
-            let w = row
-                .iter()
-                .filter(|a| matches!(a, Action::Work { .. }))
-                .count() as u32;
+        let n_rounds = trace.num_rounds() as usize;
+        let mut work = Vec::with_capacity(n_rounds);
+        let mut idling = Vec::with_capacity(n_rounds);
+        for row in trace.rounds() {
+            // `None` = an idle round from a run-length-encoded idle span.
+            let w = row.map_or(0, |r| {
+                r.iter()
+                    .filter(|a| matches!(a, Action::Work { .. }))
+                    .count() as u32
+            });
             work.push(w);
             idling.push(m as u32 - w);
         }
@@ -271,7 +274,7 @@ mod tests {
         let (result, trace) = run_priority(&inst, &SimConfig::new(3).with_trace(), &Fifo);
         let trace = trace.unwrap();
         let act = RoundActivity::from_trace(&trace);
-        assert_eq!(act.rounds(), trace.rounds.len());
+        assert_eq!(act.rounds() as u64, trace.num_rounds());
         let total_work: u64 = act.work.iter().map(|&w| w as u64).sum();
         assert_eq!(total_work, result.stats.work_steps);
         assert_eq!(act.work_in(0, act.rounds() as u64), result.stats.work_steps);

@@ -82,6 +82,8 @@ mod result;
 mod trace;
 mod worksteal;
 
+#[cfg(feature = "reference-engine")]
+pub use centralized::run_priority_reference;
 pub use centralized::{
     run_priority, simulate_bwf, simulate_fifo, BiggestWeightFirst, Fifo, JobPriority, Lifo,
     ShortestJobFirst,
@@ -103,7 +105,7 @@ pub use opt::{
     combined_lower_bound, opt_flows, opt_max_flow, opt_weighted_lower_bound, span_lower_bound,
 };
 pub use result::{BacklogSample, EngineStats, JobOutcome, SimResult};
-pub use trace::{Action, ScheduleTrace, TraceViolation};
+pub use trace::{Action, ScheduleTrace, TraceSpan, TraceViolation};
 pub use worksteal::{run_worksteal, simulate_worksteal, StealPolicy};
 
 #[cfg(test)]

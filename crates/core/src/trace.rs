@@ -5,6 +5,11 @@
 //! trusting the engine*: arrivals, precedence constraints, exclusive node
 //! execution and work conservation. Property tests run every scheduler
 //! through this check.
+//!
+//! All-idle rounds (quiescent gaps between arrivals) are run-length encoded
+//! as a single [`TraceSpan::Idle`] entry instead of `gap` copies of
+//! `vec![Action::Idle; m]`, so a trace of a sparse instance costs O(busy
+//! rounds), not O(total rounds).
 
 use parflow_dag::{Instance, JobId, NodeId};
 use parflow_time::{Round, Speed};
@@ -37,16 +42,32 @@ pub enum Action {
     Idle,
 }
 
-/// A complete record of a simulated schedule: `rounds[r][p]` is what
-/// processor `p` did during round `r`.
+/// A run of consecutive rounds in a [`ScheduleTrace`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceSpan {
+    /// One explicit round: what each of the `m` processors did.
+    Busy(Vec<Action>),
+    /// `count` consecutive rounds in which every processor idled.
+    Idle {
+        /// Number of all-idle rounds this span covers.
+        count: u64,
+    },
+}
+
+/// A complete record of a simulated schedule, as a sequence of rounds.
+///
+/// Busy rounds are stored explicitly; all-idle spans are run-length
+/// encoded. Use [`ScheduleTrace::rounds`] to iterate per-round rows
+/// (idle rounds yield `None`), or [`ScheduleTrace::to_dense`] for the
+/// expanded `rounds[r][p]` form.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScheduleTrace {
     /// Number of processors.
     pub m: usize,
     /// Speed of the schedule.
     pub speed: Speed,
-    /// Per-round, per-processor actions.
-    pub rounds: Vec<Vec<Action>>,
+    /// Run-length encoded rounds.
+    pub spans: Vec<TraceSpan>,
 }
 
 /// A violation found by [`ScheduleTrace::validate`].
@@ -136,10 +157,82 @@ impl fmt::Display for TraceViolation {
 }
 
 impl ScheduleTrace {
+    /// An empty trace for `m` processors at `speed`.
+    pub fn new(m: usize, speed: Speed) -> Self {
+        ScheduleTrace {
+            m,
+            speed,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Total number of rounds covered (busy rows plus RLE idle rounds).
+    pub fn num_rounds(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| match s {
+                TraceSpan::Busy(_) => 1,
+                TraceSpan::Idle { count } => *count,
+            })
+            .sum()
+    }
+
+    /// Append one explicit round row.
+    pub fn push_row(&mut self, row: Vec<Action>) {
+        self.spans.push(TraceSpan::Busy(row));
+    }
+
+    /// Append `count` all-idle rounds, merging into a trailing idle span.
+    pub fn push_idle_rounds(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(TraceSpan::Idle { count: c }) = self.spans.last_mut() {
+            *c += count;
+        } else {
+            self.spans.push(TraceSpan::Idle { count });
+        }
+    }
+
+    /// Iterate rounds in order. Busy rounds yield `Some(row)`, RLE idle
+    /// rounds yield `None` (semantically a row of `m` idles).
+    pub fn rounds(&self) -> impl Iterator<Item = Option<&[Action]>> {
+        self.spans.iter().flat_map(|s| match s {
+            TraceSpan::Busy(row) => itertools_repeat_row(Some(row.as_slice()), 1),
+            TraceSpan::Idle { count } => itertools_repeat_row(None, *count),
+        })
+    }
+
+    /// Expand to the dense `rounds[r][p]` form (idle spans materialized).
+    pub fn to_dense(&self) -> Vec<Vec<Action>> {
+        let mut out = Vec::new();
+        for row in self.rounds() {
+            match row {
+                Some(r) => out.push(r.to_vec()),
+                None => out.push(vec![Action::Idle; self.m]),
+            }
+        }
+        out
+    }
+
+    /// Build a trace from dense rows (the inverse of
+    /// [`ScheduleTrace::to_dense`]; all-idle rows are re-encoded).
+    pub fn from_dense(m: usize, speed: Speed, rows: Vec<Vec<Action>>) -> Self {
+        let mut t = ScheduleTrace::new(m, speed);
+        for row in rows {
+            if !row.is_empty() && row.len() == m && row.iter().all(|a| *a == Action::Idle) {
+                t.push_idle_rounds(1);
+            } else {
+                t.push_row(row);
+            }
+        }
+        t
+    }
+
     /// Exhaustively validate this trace against `instance`.
     ///
     /// Checks, independently of any engine state:
-    /// 1. every round row covers all `m` processors;
+    /// 1. every explicit round row covers all `m` processors;
     /// 2. no job is worked on before its arrival becomes visible
     ///    (`arrival ≤ round-start`);
     /// 3. no node runs on two processors in the same round;
@@ -154,8 +247,16 @@ impl ScheduleTrace {
         // Precompute predecessor lists per job (lazily, shared across rounds).
         let mut preds_cache: HashMap<JobId, Vec<Vec<NodeId>>> = HashMap::new();
 
-        for (r, row) in self.rounds.iter().enumerate() {
-            let r = r as Round;
+        let mut r: Round = 0;
+        for span in &self.spans {
+            let row = match span {
+                TraceSpan::Idle { count } => {
+                    // An RLE idle span is trivially valid: nothing executes.
+                    r += count;
+                    continue;
+                }
+                TraceSpan::Busy(row) => row,
+            };
             if row.len() != self.m {
                 return Err(TraceViolation::BadRowWidth { round: r });
             }
@@ -219,6 +320,7 @@ impl ScheduleTrace {
                     completed_in.insert((job, node), r);
                 }
             }
+            r += 1;
         }
 
         // Work conservation: every node of every job fully executed.
@@ -240,18 +342,32 @@ impl ScheduleTrace {
     /// Count processor-rounds by action type: (work, steals, admits, idle).
     pub fn action_counts(&self) -> (u64, u64, u64, u64) {
         let (mut w, mut s, mut a, mut i) = (0, 0, 0, 0);
-        for row in &self.rounds {
-            for act in row {
-                match act {
-                    Action::Work { .. } => w += 1,
-                    Action::Steal { .. } => s += 1,
-                    Action::Admit { .. } => a += 1,
-                    Action::Idle => i += 1,
+        for span in &self.spans {
+            match span {
+                TraceSpan::Idle { count } => i += count * self.m as u64,
+                TraceSpan::Busy(row) => {
+                    for act in row {
+                        match act {
+                            Action::Work { .. } => w += 1,
+                            Action::Steal { .. } => s += 1,
+                            Action::Admit { .. } => a += 1,
+                            Action::Idle => i += 1,
+                        }
+                    }
                 }
             }
         }
         (w, s, a, i)
     }
+}
+
+/// Repeat a row reference `count` times (names the closure-free type so
+/// both `flat_map` arms agree).
+fn itertools_repeat_row(
+    row: Option<&[Action]>,
+    count: u64,
+) -> std::iter::RepeatN<Option<&[Action]>> {
+    std::iter::repeat_n(row, count as usize)
 }
 
 #[cfg(test)]
@@ -266,11 +382,11 @@ mod tests {
     }
 
     fn trace(m: usize, rounds: Vec<Vec<Action>>) -> ScheduleTrace {
-        ScheduleTrace {
-            m,
-            speed: Speed::ONE,
-            rounds,
+        let mut t = ScheduleTrace::new(m, Speed::ONE);
+        for row in rounds {
+            t.push_row(row);
         }
+        t
     }
 
     #[test]
@@ -421,5 +537,42 @@ mod tests {
         );
         t2.speed = Speed::integer(2);
         assert_eq!(t2.validate(&inst), Ok(()));
+    }
+
+    #[test]
+    fn idle_spans_rle_round_trip() {
+        // Idle gaps are RLE'd, merge with adjacent idle pushes, and
+        // round-trip through the dense form.
+        let mut t = ScheduleTrace::new(2, Speed::ONE);
+        t.push_row(vec![Action::Work { job: 0, node: 0 }, Action::Idle]);
+        t.push_idle_rounds(3);
+        t.push_idle_rounds(2);
+        t.push_row(vec![Action::Work { job: 0, node: 1 }, Action::Idle]);
+        assert_eq!(t.spans.len(), 3, "adjacent idle spans merged");
+        assert_eq!(t.num_rounds(), 7);
+        assert_eq!(t.action_counts(), (2, 0, 0, 12));
+
+        let dense = t.to_dense();
+        assert_eq!(dense.len(), 7);
+        assert_eq!(dense[1], vec![Action::Idle; 2]);
+        let back = ScheduleTrace::from_dense(2, Speed::ONE, dense);
+        assert_eq!(back.spans, t.spans);
+    }
+
+    #[test]
+    fn idle_spans_validate_like_dense_rows() {
+        // A trace with an RLE gap validates iff its dense expansion does:
+        // the precedence round arithmetic must count skipped rounds.
+        let dag = Arc::new(shapes::chain(2, 1));
+        let inst = Instance::new(vec![Job::new(0, 0, dag)]);
+        let mut t = ScheduleTrace::new(1, Speed::ONE);
+        t.push_row(vec![Action::Work { job: 0, node: 0 }]);
+        t.push_idle_rounds(4);
+        t.push_row(vec![Action::Work { job: 0, node: 1 }]);
+        assert_eq!(t.validate(&inst), Ok(()));
+        assert_eq!(
+            ScheduleTrace::from_dense(1, Speed::ONE, t.to_dense()).validate(&inst),
+            Ok(())
+        );
     }
 }

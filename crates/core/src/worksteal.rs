@@ -34,10 +34,10 @@ use crate::config::{AdmissionOrder, SimConfig, StealAmount, StealCost, VictimStr
 use crate::fault::{FaultEvent, FaultKind, JobStatus, PanicSampler, SlowdownGate, PPM};
 use crate::result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
-use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, UnitOutcome};
+use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, StepOutcome};
 use parflow_time::Round;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -108,6 +108,7 @@ impl Worker {
 /// On success moves the victim's top task into `workers[p].current`, plus
 /// — under [`StealAmount::Half`] — the rest of the top half of the
 /// victim's deque onto the thief's deque.
+#[inline]
 fn steal_into(
     p: usize,
     workers: &mut [Worker],
@@ -122,7 +123,7 @@ fn steal_into(
     }
     let victim = match strategy {
         VictimStrategy::Uniform => {
-            let mut v = rng.gen_range(0..m - 1);
+            let mut v = gen_uniform_below(rng, m - 1);
             if v >= p {
                 v += 1;
             }
@@ -158,6 +159,123 @@ fn steal_into(
     }
 }
 
+/// True if any steal attempt could currently succeed: some non-blackholed
+/// worker has a non-empty deque. (The thief's own deque is always empty at
+/// a steal site — it pops it before reaching the steal path — so the thief
+/// index needs no exclusion.)
+#[inline]
+fn any_stealable(workers: &[Worker], blackholed: &[bool]) -> bool {
+    workers
+        .iter()
+        .zip(blackholed)
+        .any(|(w, &b)| !b && !w.deque.is_empty())
+}
+
+/// `rng.gen_range(0..bound)` for `usize`, inlined.
+///
+/// Replays rand 0.8.5's `sample_single` Lemire rejection loop bit-for-bit
+/// (`range = bound`, `zone = (range << range.leading_zeros()) - 1`, accept a
+/// draw `v` iff the low 64 bits of `v * range` are ≤ zone, result = high 64
+/// bits). `gen_range` itself is an opaque cross-crate call on the hot steal
+/// path; this keeps the identical RNG stream at a fraction of the cost.
+#[inline]
+fn gen_uniform_below(rng: &mut SmallRng, bound: usize) -> usize {
+    debug_assert!(bound >= 1);
+    let range = bound as u64;
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let t = (v as u128) * (range as u128);
+        if (t as u64) <= zone {
+            return (t >> 64) as usize;
+        }
+    }
+}
+
+/// Consume exactly the RNG draws that `count` uniform victim selections
+/// (`gen_range(0..m-1)`) would consume, without computing victims.
+///
+/// Replays rand 0.8.5's Lemire rejection loop draw-for-draw: each accepted
+/// sample is one attempt, rejected samples re-draw, so the stream position
+/// afterwards is bit-identical to `count` calls through `steal_into`.
+/// Callers must have established that every one of these attempts fails
+/// (nothing is stealable), making the victim index itself irrelevant.
+#[inline]
+fn burn_uniform_draws(rng: &mut SmallRng, m: usize, count: u64) {
+    if m <= 1 || count == 0 {
+        return;
+    }
+    let range = (m - 1) as u64;
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    // Phase 1: a fixed-trip-count loop the compiler can unroll and
+    // software-pipeline (the data-dependent `while` form defeats both).
+    // Draws are consumed in stream order either way, so splitting the
+    // rejection fixup into phase 2 leaves the stream position identical:
+    // every rejected draw (probability ≈ range/2⁶⁴ per draw) still costs
+    // exactly one extra accepted draw.
+    let mut shortfall = 0u64;
+    for _ in 0..count {
+        let v = rng.next_u64();
+        shortfall += (v.wrapping_mul(range) > zone) as u64;
+    }
+    while shortfall > 0 {
+        let v = rng.next_u64();
+        shortfall -= (v.wrapping_mul(range) <= zone) as u64;
+    }
+}
+
+/// Advance the round-robin scan cursor of worker `p` by `count` failed
+/// attempts without touching the deques.
+///
+/// One application maps `s` to `s+1 (mod m)` except from `p`, which jumps
+/// to `p+2`: after the first application the state lives on a single cycle
+/// of length `m-1` (every residue except `p+1`), so the remaining count is
+/// reduced modulo that cycle instead of iterated.
+#[inline]
+fn advance_scan(start: usize, p: usize, m: usize, count: u64) -> usize {
+    debug_assert!(m >= 2);
+    let step = |s: usize| -> usize {
+        let mut v = s % m;
+        if v == p {
+            v = (v + 1) % m;
+        }
+        (v + 1) % m
+    };
+    if count == 0 {
+        return start;
+    }
+    let mut s = step(start);
+    let mut rem = (count - 1) % (m as u64 - 1);
+    while rem > 0 {
+        s = step(s);
+        rem -= 1;
+    }
+    s
+}
+
+/// Consume the per-attempt state (RNG stream or scan cursor) of `count`
+/// steal attempts by worker `p` that are known to fail. A no-op for
+/// `m <= 1`, mirroring `steal_into`'s early return.
+#[inline]
+fn burn_failed_attempts(
+    rng: &mut SmallRng,
+    workers: &mut [Worker],
+    p: usize,
+    strategy: VictimStrategy,
+    count: u64,
+) {
+    let m = workers.len();
+    if m <= 1 {
+        return;
+    }
+    match strategy {
+        VictimStrategy::Uniform => burn_uniform_draws(rng, m, count),
+        VictimStrategy::RoundRobinScan => {
+            workers[p].scan_next = advance_scan(workers[p].scan_next, p, m, count);
+        }
+    }
+}
+
 /// Pop the next job to admit according to the admission order: the front
 /// (FIFO) or the largest-weight queued job (distributed BWF; ties go to
 /// the earlier arrival, i.e. the smaller id).
@@ -181,19 +299,22 @@ fn pop_admission(
 
 /// Admit job `jid` on worker `p`: create its cursor, push all source nodes
 /// onto the worker's deque and take the last one as the current task.
+/// `sources` is a caller-owned scratch buffer (hoisted out of the hot loop).
 fn admit_job(
     jid: JobId,
     p: usize,
     jobs: &[Job],
     workers: &mut [Worker],
     cursors: &mut [Option<DagCursor>],
+    sources: &mut Vec<NodeId>,
 ) {
     let job = &jobs[jid as usize];
     let cursor = DagCursor::new(&job.dag);
-    let sources: Vec<NodeId> = cursor.ready_nodes().to_vec();
+    sources.clear();
+    sources.extend_from_slice(cursor.ready_nodes());
     cursors[jid as usize] = Some(cursor);
     let cur = cursors[jid as usize].as_mut().expect("just set");
-    for &s in &sources {
+    for &s in sources.iter() {
         cur.claim(s).expect("source ready");
         workers[p].deque.push_back((jid, s));
     }
@@ -229,7 +350,7 @@ pub fn run_worksteal(
     let mut started: Vec<Option<Round>> = vec![None; n];
     let mut global_queue: VecDeque<JobId> = VecDeque::new();
     let mut stats = EngineStats::default();
-    let mut trace_rounds: Vec<Vec<Action>> = Vec::new();
+    let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
     let mut samples: Vec<BacklogSample> = Vec::new();
 
     // Fault machinery. Orphaned tasks from crashed workers go into a
@@ -278,25 +399,42 @@ pub fn run_worksteal(
             + 64;
     }
 
-    // Next round strictly after `round` at which the plan changes some
-    // worker's behaviour; quiescent fast-forwards must not skip it.
-    let next_fault_boundary = |round: Round| -> Option<Round> {
-        let crash = faults
+    // Rounds at which the plan changes some worker's behaviour, sorted
+    // once up front; quiescent fast-forwards must not skip them. The
+    // lookup is a binary search instead of a per-gap rescan of the plan.
+    let fault_boundaries: Vec<Round> = {
+        let mut b: Vec<Round> = faults
             .crashes
             .iter()
             .map(|c| c.at_round)
-            .filter(|&r| r > round)
-            .min();
-        let stall = faults
-            .stalls
-            .iter()
-            .flat_map(|s| [s.from_round, s.from_round.saturating_add(s.duration)])
-            .filter(|&r| r > round)
-            .min();
-        crash.iter().chain(stall.iter()).copied().min()
+            .chain(
+                faults
+                    .stalls
+                    .iter()
+                    .flat_map(|s| [s.from_round, s.from_round.saturating_add(s.duration)]),
+            )
+            .collect();
+        b.sort_unstable();
+        b.dedup();
+        b
     };
+    let next_fault_boundary = |round: Round| -> Option<Round> {
+        let i = fault_boundaries.partition_point(|&b| b <= round);
+        fault_boundaries.get(i).copied()
+    };
+    let has_stalls = !faults.stalls.is_empty();
+    let mut crash_pending = (0..m).any(|p| faults.crash_round_of(p).is_some());
+    // The event-window fast path below bulk-steps uneventful round spans.
+    // It preserves the RNG stream bit-for-bit but compresses bookkeeping,
+    // so it is only taken when no fault can fire (empty plan ⇒ no crashes,
+    // stalls, slowdowns, blackholes or panics) and no trace row is needed.
+    let fast_ok = faults.is_empty() && !config.record_trace;
 
-    while completed < n {
+    // Scratch buffers hoisted out of the hot loop.
+    let mut ready_scratch: Vec<NodeId> = Vec::new();
+    let mut sources_scratch: Vec<NodeId> = Vec::new();
+
+    'rounds: while completed < n {
         assert!(
             round <= safety_cap,
             "work-stealing engine exceeded round cap"
@@ -304,43 +442,47 @@ pub fn run_worksteal(
 
         // Crash pre-pass: workers whose crash round has come die at the
         // start of the round; their current task and deque are reinjected
-        // into the global orphan FIFO for survivors to adopt.
-        for p in 0..m {
-            if alive[p] && faults.crash_round_of(p).is_some_and(|cr| cr <= round) {
-                alive[p] = false;
-                alive_count -= 1;
-                stats.crashed_workers += 1;
-                fault_events.push(FaultEvent {
-                    round,
-                    worker: Some(p),
-                    job: None,
-                    kind: FaultKind::Crash,
-                    detail: 0,
-                });
-                let mut reinjected = 0u64;
-                if let Some(task) = workers[p].current.take() {
-                    orphans.push_back(task);
-                    reinjected += 1;
-                }
-                while let Some(task) = workers[p].deque.pop_front() {
-                    orphans.push_back(task);
-                    reinjected += 1;
-                }
-                for task in workers[p].pending.drain(..) {
-                    orphans.push_back(task);
-                    reinjected += 1;
-                }
-                if reinjected > 0 {
-                    stats.reinjected_tasks += reinjected;
+        // into the global orphan FIFO for survivors to adopt. Skipped
+        // entirely once every scheduled crash has fired.
+        if crash_pending {
+            for p in 0..m {
+                if alive[p] && faults.crash_round_of(p).is_some_and(|cr| cr <= round) {
+                    alive[p] = false;
+                    alive_count -= 1;
+                    stats.crashed_workers += 1;
                     fault_events.push(FaultEvent {
                         round,
                         worker: Some(p),
                         job: None,
-                        kind: FaultKind::OrphanReinjection,
-                        detail: reinjected,
+                        kind: FaultKind::Crash,
+                        detail: 0,
                     });
+                    let mut reinjected = 0u64;
+                    if let Some(task) = workers[p].current.take() {
+                        orphans.push_back(task);
+                        reinjected += 1;
+                    }
+                    while let Some(task) = workers[p].deque.pop_front() {
+                        orphans.push_back(task);
+                        reinjected += 1;
+                    }
+                    for task in workers[p].pending.drain(..) {
+                        orphans.push_back(task);
+                        reinjected += 1;
+                    }
+                    if reinjected > 0 {
+                        stats.reinjected_tasks += reinjected;
+                        fault_events.push(FaultEvent {
+                            round,
+                            worker: Some(p),
+                            job: None,
+                            kind: FaultKind::OrphanReinjection,
+                            detail: reinjected,
+                        });
+                    }
                 }
             }
+            crash_pending = (0..m).any(|q| alive[q] && faults.crash_round_of(q).is_some());
         }
 
         // Release arrivals into the global FIFO queue.
@@ -379,13 +521,202 @@ pub fn run_worksteal(
                         .saturating_add(gap.min(u32::MAX as u64) as u32);
                 }
             }
-            if config.record_trace {
-                for _ in 0..gap {
-                    trace_rounds.push(vec![Action::Idle; m]);
+            // Backlog samples falling inside the skipped span are still
+            // emitted (the backlog is empty by construction — nothing is
+            // live, queued or orphaned during a quiescent gap), so sampled
+            // series stay evenly spaced across gaps.
+            if config.sample_every > 0 {
+                let se = config.sample_every;
+                let mut s = (round / se + 1) * se;
+                while s < target {
+                    samples.push(BacklogSample {
+                        round: s,
+                        queued: 0,
+                        live: 0,
+                        deque_tasks: 0,
+                    });
+                    s += se;
                 }
+            }
+            if let Some(t) = trace.as_mut() {
+                t.push_idle_rounds(gap);
             }
             round = target;
             continue;
+        }
+
+        // Event-window fast path: between events the round-by-round
+        // behaviour is forced. If every worker is busy (nobody pops, admits
+        // or steals), or the idle workers provably cannot acquire anything
+        // (global queue, orphan FIFO and every deque empty — so every steal
+        // attempt fails), then until the next node completion or arrival
+        // each round repeats the same pattern. Consume the whole span at
+        // once: busy workers bulk-execute their current node, idle workers'
+        // failed steal attempts are replayed onto the RNG stream without
+        // computing victims. Completions land in the last round of the
+        // span, exactly where the per-round loop would put them.
+        'window: {
+            if !fast_ok {
+                break 'window;
+            }
+            // Cheapest cap first: if the next arrival lands next round the
+            // span can only be 1 round — skip the worker scan entirely.
+            let arrival_cap = if next_arrival < n {
+                speed.first_round_at_or_after(jobs[next_arrival].arrival) - round
+            } else {
+                u64::MAX
+            };
+            if arrival_cap < 2 {
+                break 'window;
+            }
+            let mut min_rem = u64::MAX;
+            let mut busy = 0usize;
+            let mut deques_empty = true;
+            for w in &workers {
+                if let Some((jid, v)) = w.current {
+                    let rem = cursors[jid as usize]
+                        .as_ref()
+                        .expect("admitted job")
+                        .remaining_work(v)
+                        .expect("current node in range");
+                    if rem < 2 {
+                        // The span is capped at 1 round — the per-round
+                        // loop handles that more cheaply than span setup.
+                        break 'window;
+                    }
+                    if rem < min_rem {
+                        min_rem = rem;
+                    }
+                    busy += 1;
+                }
+                if !w.deque.is_empty() {
+                    deques_empty = false;
+                }
+            }
+            let eligible = busy > 0 && (busy == m || (global_queue.is_empty() && deques_empty));
+            if eligible {
+                // ≥ 2 by construction: every remaining-work and the arrival
+                // cap were pre-checked, so the span always beats per-round.
+                let delta = min_rem.min(arrival_cap);
+                {
+                    let last = round + delta - 1;
+                    // Backlog state is constant at the top of every round
+                    // in the span (completions only land *during* the last
+                    // one), so interior samples all read the same values.
+                    if config.sample_every > 0 {
+                        let se = config.sample_every;
+                        let queued = global_queue.len();
+                        let deque_tasks =
+                            workers.iter().map(|w| w.deque.len()).sum::<usize>() + orphans.len();
+                        let mut s = (round / se + 1) * se;
+                        while s <= last {
+                            samples.push(BacklogSample {
+                                round: s,
+                                queued,
+                                live: live_admitted,
+                                deque_tasks,
+                            });
+                            s += se;
+                        }
+                    }
+                    if busy < m {
+                        debug_assert!(global_queue.is_empty() && deques_empty);
+                        debug_assert!(orphans.is_empty(), "no orphans without crashes");
+                        let per_round: u64 = match config.steal_cost {
+                            StealCost::UnitStep => 1,
+                            StealCost::Free => {
+                                if k == 0 {
+                                    2 * m as u64
+                                } else {
+                                    k as u64
+                                }
+                            }
+                        };
+                        let idle = (m - busy) as u64;
+                        stats.steal_attempts += delta * per_round * idle;
+                        match config.victim {
+                            VictimStrategy::Uniform => {
+                                burn_uniform_draws(&mut rng, m, delta * per_round * idle);
+                            }
+                            VictimStrategy::RoundRobinScan => {
+                                for (p, w) in workers.iter_mut().enumerate() {
+                                    if w.current.is_none() {
+                                        w.scan_next =
+                                            advance_scan(w.scan_next, p, m, delta * per_round);
+                                    }
+                                }
+                            }
+                        }
+                        match config.steal_cost {
+                            StealCost::UnitStep => {
+                                // A failed unit-cost steal consumes the
+                                // round and bumps the failure counter.
+                                for w in workers.iter_mut() {
+                                    if w.current.is_none() {
+                                        w.failed_steals = w
+                                            .failed_steals
+                                            .saturating_add(delta.min(u32::MAX as u64) as u32);
+                                    }
+                                }
+                            }
+                            StealCost::Free => {
+                                // Free attempts cost nothing; the round
+                                // itself is recorded as idle.
+                                stats.idle_steps += delta * idle;
+                            }
+                        }
+                    }
+                    for w in workers.iter_mut() {
+                        let Some((jid, v)) = w.current else {
+                            continue;
+                        };
+                        let job = &jobs[jid as usize];
+                        let cursor = cursors[jid as usize].as_mut().expect("admitted job");
+                        stats.work_steps += delta;
+                        w.failed_steals = 0;
+                        ready_scratch.clear();
+                        match cursor
+                            .execute_units(&job.dag, v, delta, &mut ready_scratch)
+                            .expect("current node claimed")
+                        {
+                            StepOutcome::InProgress => {}
+                            StepOutcome::NodeCompleted { job_completed } => {
+                                w.current = None;
+                                debug_assert!(
+                                    !sampler.should_panic(jid, v),
+                                    "no injected panics under an empty fault plan"
+                                );
+                                for &u in ready_scratch.iter() {
+                                    cursor.claim(u).expect("newly ready claimable");
+                                    w.pending.push((jid, u));
+                                }
+                                if job_completed {
+                                    live_admitted -= 1;
+                                    completed += 1;
+                                    outcomes[jid as usize] = Some(JobOutcome {
+                                        job: jid,
+                                        arrival: job.arrival,
+                                        weight: job.weight,
+                                        start_round: started[jid as usize].expect("job admitted"),
+                                        completion_round: last,
+                                        completion: speed.round_end(last),
+                                        flow: speed.flow_time(job.arrival, last),
+                                        status: JobStatus::Completed,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    for w in &mut workers {
+                        for task in w.pending.drain(..) {
+                            w.deque.push_back(task);
+                        }
+                    }
+                    last_busy_round = last;
+                    round += delta;
+                    continue 'rounds;
+                }
+            }
         }
 
         let mut row: Vec<Action> = if config.record_trace {
@@ -393,6 +724,10 @@ pub fn run_worksteal(
         } else {
             Vec::new()
         };
+        // All-deques-empty knowledge, shared across this round's steal
+        // sites: `Some(false)` ⇒ every attempt fails (burn it), computed at
+        // most once per round and invalidated by any deque push.
+        let mut stealable_cache: Option<bool> = None;
 
         for p in 0..m {
             // 0. Fault gates: dead workers do nothing; stalled workers
@@ -404,27 +739,29 @@ pub fn run_worksteal(
                 }
                 continue;
             }
-            let stalled = faults.is_stalled(p, round);
-            if stalled != was_stalled[p] {
-                was_stalled[p] = stalled;
-                fault_events.push(FaultEvent {
-                    round,
-                    worker: Some(p),
-                    job: None,
-                    kind: if stalled {
-                        FaultKind::StallBegin
-                    } else {
-                        FaultKind::StallEnd
-                    },
-                    detail: 0,
-                });
-            }
-            if stalled {
-                stats.faulted_steps += 1;
-                if config.record_trace {
-                    row.push(Action::Idle);
+            if has_stalls {
+                let stalled = faults.is_stalled(p, round);
+                if stalled != was_stalled[p] {
+                    was_stalled[p] = stalled;
+                    fault_events.push(FaultEvent {
+                        round,
+                        worker: Some(p),
+                        job: None,
+                        kind: if stalled {
+                            FaultKind::StallBegin
+                        } else {
+                            FaultKind::StallEnd
+                        },
+                        detail: 0,
+                    });
                 }
-                continue;
+                if stalled {
+                    stats.faulted_steps += 1;
+                    if config.record_trace {
+                        row.push(Action::Idle);
+                    }
+                    continue;
+                }
             }
             if !gates[p].is_full_speed() && !gates[p].tick() {
                 stats.faulted_steps += 1;
@@ -461,25 +798,47 @@ pub fn run_worksteal(
                         if admit_now {
                             let jid = pop_admission(&mut global_queue, jobs, config.admission)
                                 .expect("queue non-empty");
-                            admit_job(jid, p, jobs, &mut workers, &mut cursors);
+                            admit_job(
+                                jid,
+                                p,
+                                jobs,
+                                &mut workers,
+                                &mut cursors,
+                                &mut sources_scratch,
+                            );
                             started[jid as usize] = Some(round);
                             live_admitted += 1;
                             stats.admissions += 1;
+                            stealable_cache = None;
                         } else {
                             // Steal attempt: one full round; the stolen node
                             // (if any) starts executing next round.
                             stats.steal_attempts += 1;
-                            let hit = steal_into(
-                                p,
-                                &mut workers,
-                                &mut rng,
-                                config.victim,
-                                config.steal_amount,
-                                &blackholed,
-                            );
+                            let stealable = match stealable_cache {
+                                Some(v) => v,
+                                None => {
+                                    let v = any_stealable(&workers, &blackholed);
+                                    stealable_cache = Some(v);
+                                    v
+                                }
+                            };
+                            let hit = if stealable {
+                                steal_into(
+                                    p,
+                                    &mut workers,
+                                    &mut rng,
+                                    config.victim,
+                                    config.steal_amount,
+                                    &blackholed,
+                                )
+                            } else {
+                                burn_failed_attempts(&mut rng, &mut workers, p, config.victim, 1);
+                                false
+                            };
                             if hit {
                                 stats.successful_steals += 1;
                                 workers[p].failed_steals = 0;
+                                stealable_cache = None;
                             } else {
                                 workers[p].failed_steals =
                                     workers[p].failed_steals.saturating_add(1);
@@ -498,13 +857,67 @@ pub fn run_worksteal(
                             if let Some(jid) =
                                 pop_admission(&mut global_queue, jobs, config.admission)
                             {
-                                admit_job(jid, p, jobs, &mut workers, &mut cursors);
+                                admit_job(
+                                    jid,
+                                    p,
+                                    jobs,
+                                    &mut workers,
+                                    &mut cursors,
+                                    &mut sources_scratch,
+                                );
                                 started[jid as usize] = Some(round);
                                 live_admitted += 1;
                                 stats.admissions += 1;
+                                stealable_cache = None;
                             } else {
                                 // Scan for stealable work.
-                                for _ in 0..2 * m.max(1) as u32 {
+                                let attempts = 2 * m.max(1) as u32;
+                                let stealable = match stealable_cache {
+                                    Some(v) => v,
+                                    None => {
+                                        let v = any_stealable(&workers, &blackholed);
+                                        stealable_cache = Some(v);
+                                        v
+                                    }
+                                };
+                                if stealable {
+                                    for _ in 0..attempts {
+                                        stats.steal_attempts += 1;
+                                        if steal_into(
+                                            p,
+                                            &mut workers,
+                                            &mut rng,
+                                            config.victim,
+                                            config.steal_amount,
+                                            &blackholed,
+                                        ) {
+                                            stats.successful_steals += 1;
+                                            stealable_cache = None;
+                                            break;
+                                        }
+                                    }
+                                } else {
+                                    stats.steal_attempts += attempts as u64;
+                                    burn_failed_attempts(
+                                        &mut rng,
+                                        &mut workers,
+                                        p,
+                                        config.victim,
+                                        attempts as u64,
+                                    );
+                                }
+                            }
+                        } else {
+                            let stealable = match stealable_cache {
+                                Some(v) => v,
+                                None => {
+                                    let v = any_stealable(&workers, &blackholed);
+                                    stealable_cache = Some(v);
+                                    v
+                                }
+                            };
+                            if stealable {
+                                for _ in 0..k {
                                     stats.steal_attempts += 1;
                                     if steal_into(
                                         p,
@@ -515,33 +928,36 @@ pub fn run_worksteal(
                                         &blackholed,
                                     ) {
                                         stats.successful_steals += 1;
+                                        stealable_cache = None;
                                         break;
                                     }
                                 }
-                            }
-                        } else {
-                            for _ in 0..k {
-                                stats.steal_attempts += 1;
-                                if steal_into(
-                                    p,
-                                    &mut workers,
+                            } else {
+                                stats.steal_attempts += k as u64;
+                                burn_failed_attempts(
                                     &mut rng,
+                                    &mut workers,
+                                    p,
                                     config.victim,
-                                    config.steal_amount,
-                                    &blackholed,
-                                ) {
-                                    stats.successful_steals += 1;
-                                    break;
-                                }
+                                    k as u64,
+                                );
                             }
                             if workers[p].current.is_none() {
                                 if let Some(jid) =
                                     pop_admission(&mut global_queue, jobs, config.admission)
                                 {
-                                    admit_job(jid, p, jobs, &mut workers, &mut cursors);
+                                    admit_job(
+                                        jid,
+                                        p,
+                                        jobs,
+                                        &mut workers,
+                                        &mut cursors,
+                                        &mut sources_scratch,
+                                    );
                                     started[jid as usize] = Some(round);
                                     live_admitted += 1;
                                     stats.admissions += 1;
+                                    stealable_cache = None;
                                 }
                             }
                         }
@@ -562,15 +978,13 @@ pub fn run_worksteal(
             let cursor = cursors[jid as usize].as_mut().expect("admitted job");
             stats.work_steps += 1;
             workers[p].failed_steals = 0;
+            ready_scratch.clear();
             match cursor
-                .execute_unit(&job.dag, v)
+                .execute_unit_into(&job.dag, v, &mut ready_scratch)
                 .expect("current node claimed")
             {
-                UnitOutcome::InProgress => {}
-                UnitOutcome::NodeCompleted {
-                    newly_ready,
-                    job_completed,
-                } => {
+                StepOutcome::InProgress => {}
+                StepOutcome::NodeCompleted { job_completed } => {
                     workers[p].current = None;
                     if sampler.should_panic(jid, v) {
                         // Injected task panic: the job fails and is
@@ -612,7 +1026,7 @@ pub fn run_worksteal(
                     // Claim enabled nodes now (they are exclusively ours)
                     // but defer deque publication to the end of the round.
                     let cursor = cursors[jid as usize].as_mut().expect("admitted job");
-                    for u in newly_ready {
+                    for &u in ready_scratch.iter() {
                         cursor.claim(u).expect("newly ready claimable");
                         workers[p].pending.push((jid, u));
                     }
@@ -645,8 +1059,8 @@ pub fn run_worksteal(
         }
 
         last_busy_round = round;
-        if config.record_trace {
-            trace_rounds.push(row);
+        if let Some(t) = trace.as_mut() {
+            t.push_row(row);
         }
         round += 1;
     }
@@ -664,11 +1078,6 @@ pub fn run_worksteal(
         samples,
         fault_events,
     };
-    let trace = config.record_trace.then_some(ScheduleTrace {
-        m,
-        speed,
-        rounds: trace_rounds,
-    });
     (result, trace)
 }
 
@@ -907,6 +1316,57 @@ mod tests {
         // Without sampling, no samples.
         let r2 = simulate_worksteal(&inst, &SimConfig::new(2), StealPolicy::AdmitFirst, 3);
         assert!(r2.samples.is_empty());
+    }
+
+    #[test]
+    fn sampling_covers_quiescent_gaps() {
+        // Two jobs separated by a long gap: sample_every multiples inside
+        // the fast-forwarded span must still be emitted (with an empty
+        // backlog) so sampled series stay evenly spaced across gaps.
+        let inst = inst_seq(&[(0, 3), (1000, 3)]);
+        let cfg = SimConfig::new(2).with_sampling(100);
+        let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 3);
+        let rounds: Vec<u64> = r.samples.iter().map(|s| s.round).collect();
+        for k in 0..=10u64 {
+            assert!(rounds.contains(&(k * 100)), "missing sample at {}", k * 100);
+        }
+        let gap = r
+            .samples
+            .iter()
+            .find(|s| s.round == 500)
+            .expect("gap sample");
+        assert_eq!((gap.queued, gap.live, gap.deque_tasks), (0, 0, 0));
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        // The untraced run may take the event-window fast path; the traced
+        // run never does. Results must be identical either way: same
+        // outcomes, stats, samples and RNG consumption.
+        let dag = Arc::new(shapes::diamond(6, 3));
+        let mut jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(i, (i as u64) * 7, dag.clone()))
+            .collect();
+        // A long sequential tail after a gap exercises wide windows.
+        jobs.push(Job::new(12, 300, Arc::new(shapes::single_node(40))));
+        let inst = Instance::new(jobs);
+        for cfg in [
+            SimConfig::new(3),
+            SimConfig::new(3).with_free_steals(),
+            SimConfig::new(3).with_victim_scan(),
+            SimConfig::new(3).with_sampling(7),
+            SimConfig::new(1),
+        ] {
+            for policy in [StealPolicy::AdmitFirst, StealPolicy::StealKFirst { k: 3 }] {
+                let fast = simulate_worksteal(&inst, &cfg, policy, 42);
+                let (slow, trace) = run_worksteal(&inst, &cfg.clone().with_trace(), policy, 42);
+                assert_eq!(fast.outcomes, slow.outcomes, "{}", policy.name());
+                assert_eq!(fast.stats, slow.stats, "{}", policy.name());
+                assert_eq!(fast.samples, slow.samples, "{}", policy.name());
+                assert_eq!(fast.total_rounds, slow.total_rounds, "{}", policy.name());
+                trace.unwrap().validate(&inst).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,21 @@ pub enum UnitOutcome {
     },
 }
 
+/// Allocation-free counterpart of [`UnitOutcome`], used by
+/// [`DagCursor::execute_unit_into`] and [`DagCursor::execute_units`]:
+/// newly-ready successors are appended to a caller-owned buffer instead of
+/// a fresh `Vec` per completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The node still has remaining work and stays claimed.
+    InProgress,
+    /// The node finished (successors appended to the caller's buffer).
+    NodeCompleted {
+        /// True if this was the job's last node: the job is now complete.
+        job_completed: bool,
+    },
+}
+
 /// Tracks the execution progress of a single job's DAG.
 ///
 /// The cursor maintains, per node: remaining work, unmet predecessor count
@@ -175,20 +190,59 @@ impl DagCursor {
     /// Execute one unit of work on a claimed node. Needs the job's [`JobDag`]
     /// to propagate readiness when the node completes.
     pub fn execute_unit(&mut self, dag: &JobDag, v: NodeId) -> Result<UnitOutcome, ExecError> {
+        let mut newly_ready = Vec::new();
+        match self.execute_units(dag, v, 1, &mut newly_ready)? {
+            StepOutcome::InProgress => Ok(UnitOutcome::InProgress),
+            StepOutcome::NodeCompleted { job_completed } => Ok(UnitOutcome::NodeCompleted {
+                newly_ready,
+                job_completed,
+            }),
+        }
+    }
+
+    /// Execute one unit of work on a claimed node, appending any newly-ready
+    /// successors to `newly_ready` instead of allocating. Hot-loop variant of
+    /// [`DagCursor::execute_unit`].
+    #[inline]
+    pub fn execute_unit_into(
+        &mut self,
+        dag: &JobDag,
+        v: NodeId,
+        newly_ready: &mut Vec<NodeId>,
+    ) -> Result<StepOutcome, ExecError> {
+        self.execute_units(dag, v, 1, newly_ready)
+    }
+
+    /// Execute `k ≥ 1` units of work on a claimed node in one call; the node
+    /// completes iff `k` equals its remaining work (`k` larger is an
+    /// [`ExecError::NotClaimed`]-free invariant violation and panics via
+    /// debug assertion, capped by the `min` below in release builds).
+    ///
+    /// Equivalent to calling [`DagCursor::execute_unit`] `k` times, minus the
+    /// per-unit dispatch — the bulk path the event-horizon engine uses to
+    /// consume a whole inter-event window at once. Newly-ready successors are
+    /// appended to `newly_ready`.
+    pub fn execute_units(
+        &mut self,
+        dag: &JobDag,
+        v: NodeId,
+        k: Work,
+        newly_ready: &mut Vec<NodeId>,
+    ) -> Result<StepOutcome, ExecError> {
         match self.state.get(v as usize) {
             None => return Err(ExecError::OutOfRange { node: v }),
             Some(NodeState::Claimed) => {}
             Some(_) => return Err(ExecError::NotClaimed { node: v }),
         }
-        debug_assert!(self.remaining[v as usize] > 0);
-        self.remaining[v as usize] -= 1;
-        self.executed_units += 1;
+        debug_assert!(k >= 1 && k <= self.remaining[v as usize]);
+        let k = k.min(self.remaining[v as usize]);
+        self.remaining[v as usize] -= k;
+        self.executed_units += k;
         if self.remaining[v as usize] > 0 {
-            return Ok(UnitOutcome::InProgress);
+            return Ok(StepOutcome::InProgress);
         }
         self.state[v as usize] = NodeState::Completed;
         self.completed_nodes += 1;
-        let mut newly_ready = Vec::new();
         for &u in &dag.node(v).succs {
             let c = &mut self.unmet_preds[u as usize];
             debug_assert!(*c > 0);
@@ -198,8 +252,7 @@ impl DagCursor {
                 newly_ready.push(u);
             }
         }
-        Ok(UnitOutcome::NodeCompleted {
-            newly_ready,
+        Ok(StepOutcome::NodeCompleted {
             job_completed: self.is_complete(),
         })
     }

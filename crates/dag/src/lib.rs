@@ -32,7 +32,7 @@ mod job;
 pub mod shapes;
 
 pub use builder::DagBuilder;
-pub use cursor::{DagCursor, UnitOutcome};
+pub use cursor::{DagCursor, StepOutcome, UnitOutcome};
 pub use error::{DagError, ExecError};
 pub use graph::{JobDag, Node, NodeId};
 pub use job::{Instance, Job, JobId, Weight};

@@ -54,6 +54,12 @@ impl Rational {
     #[inline]
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "rational with zero denominator");
+        // Integer fast path: already normalized, skip the gcd entirely.
+        // This is the dominant case in the engines (unit speed, integer
+        // rounds), so it pays to special-case it.
+        if den == 1 {
+            return Rational { num, den: 1 };
+        }
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den);
         if g == 0 {
@@ -250,6 +256,11 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal denominators (notably den == 1 on both sides) order by
+        // numerator alone — no multiplication, no overflow risk.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
         let lhs = self.num.checked_mul(other.den).expect("rational overflow");
         let rhs = other.num.checked_mul(self.den).expect("rational overflow");
@@ -268,6 +279,27 @@ impl Add for Rational {
     type Output = Rational;
     #[inline]
     fn add(self, rhs: Rational) -> Rational {
+        // Integer + integer: plain checked add, result already normalized.
+        if self.den == 1 && rhs.den == 1 {
+            return Rational {
+                num: self.num.checked_add(rhs.num).expect("rational overflow"),
+                den: 1,
+            };
+        }
+        // Same denominator: add numerators and reduce once against the
+        // shared denominator — one gcd on small operands instead of a
+        // cross-multiplied construction.
+        if self.den == rhs.den {
+            let num = self.num.checked_add(rhs.num).expect("rational overflow");
+            let g = gcd(num, self.den);
+            if g <= 1 {
+                return Rational { num, den: self.den };
+            }
+            return Rational {
+                num: num / g,
+                den: self.den / g,
+            };
+        }
         Rational::new(
             self.num
                 .checked_mul(rhs.den)
@@ -301,6 +333,13 @@ impl Mul for Rational {
     type Output = Rational;
     #[inline]
     fn mul(self, rhs: Rational) -> Rational {
+        // Integer × integer: plain checked multiply, already normalized.
+        if self.den == 1 && rhs.den == 1 {
+            return Rational {
+                num: self.num.checked_mul(rhs.num).expect("rational overflow"),
+                den: 1,
+            };
+        }
         // Cross-reduce before multiplying to delay overflow.
         let g1 = gcd(self.num, rhs.den).max(1);
         let g2 = gcd(rhs.num, self.den).max(1);
@@ -522,6 +561,31 @@ mod tests {
     fn mul_ratio() {
         let a = Rational::new(3, 5);
         assert_eq!(a.mul_ratio(10, 9), Rational::new(2, 3));
+    }
+
+    #[test]
+    fn fast_paths_match_generic() {
+        // Integer/same-den fast paths must agree with the generic route
+        // (construct via new() with un-normalized inputs to force it).
+        for (a, b) in [(3i128, 4i128), (-7, 2), (0, 5), (100, -100)] {
+            let fast = Rational::from_int(a) + Rational::from_int(b);
+            let slow = Rational::new(a * 6, 6) + Rational::new(b * 6, 6);
+            assert_eq!(fast, slow);
+            let fast = Rational::from_int(a) * Rational::from_int(b);
+            let slow = Rational::new(a * 6, 6) * Rational::new(b * 6, 6);
+            assert_eq!(fast, slow);
+        }
+        // Same-denominator adds reduce fully: 1/4 + 1/4 = 1/2.
+        assert_eq!(
+            Rational::new(1, 4) + Rational::new(1, 4),
+            Rational::new(1, 2)
+        );
+        // Same-denominator adds that cancel to an integer.
+        assert_eq!(Rational::new(1, 3) + Rational::new(2, 3), Rational::ONE);
+        assert_eq!(Rational::new(5, 6) + Rational::new(-5, 6), Rational::ZERO);
+        // Same-denominator ordering.
+        assert!(Rational::new(2, 7) < Rational::new(3, 7));
+        assert!(Rational::from_int(-2) < Rational::from_int(3));
     }
 
     #[test]

@@ -91,6 +91,12 @@ impl Speed {
     /// Wall-clock time at which round `r` starts: `r · den / num`.
     #[inline]
     pub fn round_start(&self, r: Round) -> Rational {
+        // Integer speeds produce integer round boundaries; skip the
+        // rational normalization (this sits under every flow-time
+        // computation the engines make).
+        if self.num == 1 {
+            return Rational::from_int(r as i128 * self.den as i128);
+        }
         Rational::new(r as i128 * self.den as i128, self.num as i128)
     }
 

@@ -1,0 +1,132 @@
+//! Differential proof of the event-horizon centralized engine.
+//!
+//! `run_priority` advances in bulk between scheduling events (arrivals and
+//! node completions of claimed work); `run_priority_reference` — compiled in
+//! via the `reference-engine` feature — is the original round-by-round loop,
+//! kept verbatim as the behavioural spec. Across random instances, processor
+//! counts, speeds (including fractional augmentation) and priority policies,
+//! the two must be **bit-identical**: same outcomes, same stats, same round
+//! counts, and the same trace round-for-round.
+
+use parflow::core::{
+    run_priority, run_priority_reference, BiggestWeightFirst, Fifo, JobPriority, Lifo,
+    ShortestJobFirst, SimConfig,
+};
+use parflow::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random small instance of mixed DAG shapes and arrival patterns,
+/// including bursts (equal arrivals) and sparse gaps that exercise the
+/// quiescent fast-forward path.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (any::<u64>(), 1usize..14, 0u64..60).prop_map(|(seed, njobs, spread)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let jobs = (0..njobs)
+            .map(|i| {
+                let arrival = if spread == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=spread)
+                };
+                let dag = match rng.gen_range(0..5u8) {
+                    0 => shapes::single_node(rng.gen_range(1..25)),
+                    1 => shapes::chain(rng.gen_range(1..6), rng.gen_range(1..5)),
+                    2 => shapes::parallel_for(rng.gen_range(1..40), rng.gen_range(1..8)),
+                    3 => shapes::fork_join(rng.gen_range(0..4), rng.gen_range(1..5)),
+                    _ => shapes::layered_random(&mut rng, shapes::LayeredParams::default()),
+                };
+                let weight = rng.gen_range(1..10u64);
+                Job::weighted(i as u32, arrival, weight, Arc::new(dag))
+            })
+            .collect();
+        Instance::new(jobs)
+    })
+}
+
+fn arb_speed() -> impl Strategy<Value = Speed> {
+    prop_oneof![
+        Just(Speed::ONE),
+        Just(Speed::new(11, 10)),
+        Just(Speed::new(3, 2)),
+        Just(Speed::new(21, 20)),
+        Just(Speed::integer(2)),
+        Just(Speed::integer(3)),
+    ]
+}
+
+/// Assert the fast and reference engines agree bit-for-bit on `inst`.
+fn assert_identical<P: JobPriority>(inst: &Instance, cfg: &SimConfig, policy: &P, name: &str) {
+    let (fast, fast_trace) = run_priority(inst, cfg, policy);
+    let (slow, slow_trace) = run_priority_reference(inst, cfg, policy);
+    assert_eq!(fast.m, slow.m, "{name}: m");
+    assert_eq!(fast.speed, slow.speed, "{name}: speed");
+    assert_eq!(fast.total_rounds, slow.total_rounds, "{name}: total_rounds");
+    assert_eq!(fast.outcomes, slow.outcomes, "{name}: outcomes");
+    assert_eq!(fast.stats, slow.stats, "{name}: stats");
+    assert_eq!(fast.samples, slow.samples, "{name}: samples");
+    match (fast_trace, slow_trace) {
+        (None, None) => {}
+        (Some(f), Some(s)) => {
+            assert_eq!(f.spans, s.spans, "{name}: trace spans");
+            assert_eq!(f.validate(inst), Ok(()), "{name}: trace validity");
+        }
+        _ => panic!("{name}: trace presence mismatch"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fifo_event_horizon_is_bit_identical(
+        inst in arb_instance(), m in 1usize..6, speed in arb_speed(), traced in any::<bool>()
+    ) {
+        let mut cfg = SimConfig::new(m).with_speed(speed);
+        if traced {
+            cfg = cfg.with_trace();
+        }
+        assert_identical(&inst, &cfg, &Fifo, "fifo");
+    }
+
+    #[test]
+    fn bwf_event_horizon_is_bit_identical(
+        inst in arb_instance(), m in 1usize..6, speed in arb_speed()
+    ) {
+        let cfg = SimConfig::new(m).with_speed(speed).with_trace();
+        assert_identical(&inst, &cfg, &BiggestWeightFirst, "bwf");
+    }
+
+    #[test]
+    fn lifo_event_horizon_is_bit_identical(
+        inst in arb_instance(), m in 1usize..6, speed in arb_speed()
+    ) {
+        let cfg = SimConfig::new(m).with_speed(speed).with_trace();
+        assert_identical(&inst, &cfg, &Lifo, "lifo");
+    }
+
+    #[test]
+    fn sjf_event_horizon_is_bit_identical(
+        inst in arb_instance(), m in 1usize..6, speed in arb_speed()
+    ) {
+        let cfg = SimConfig::new(m).with_speed(speed).with_trace();
+        assert_identical(&inst, &cfg, &ShortestJobFirst, "sjf");
+    }
+}
+
+#[test]
+fn single_processor_long_chain_is_bit_identical() {
+    // Degenerate shapes the proptest generator rarely hits: m=1 with a
+    // long sequential chain (maximal event-horizon spans) and a huge gap.
+    let jobs = vec![
+        Job::new(0, 0, Arc::new(shapes::chain(4, 50))),
+        Job::new(1, 100_000, Arc::new(shapes::single_node(3))),
+    ];
+    let inst = Instance::new(jobs);
+    for speed in [Speed::ONE, Speed::new(11, 10)] {
+        let cfg = SimConfig::new(1).with_speed(speed).with_trace();
+        assert_identical(&inst, &cfg, &Fifo, "chain-gap");
+    }
+}

@@ -120,7 +120,7 @@ fn worksteal_traces_validate_everywhere() {
                         .map(|o| o.completion_round)
                         .max()
                         .unwrap();
-                    assert!(max_round < trace.rounds.len() as u64, "{name}");
+                    assert!(max_round < trace.num_rounds(), "{name}");
                 }
             }
         }

@@ -2,6 +2,10 @@
 //! assert the independent validator catches every corruption. This guards
 //! the guard — a validator that silently accepts broken schedules would
 //! void all the property tests built on it.
+//!
+//! Traces store idle stretches run-length encoded, so corruptions are
+//! applied to the dense expansion and re-encoded with
+//! [`ScheduleTrace::from_dense`] — which also exercises that round trip.
 
 use parflow::core::{run_priority, run_worksteal, Action, Fifo, SimConfig, StealPolicy};
 use parflow::prelude::*;
@@ -19,10 +23,18 @@ fn traced_run(seed: u64) -> (Instance, parflow::core::ScheduleTrace) {
     (inst, trace.unwrap())
 }
 
-/// Indices of all Work actions in the trace.
-fn work_positions(trace: &parflow::core::ScheduleTrace) -> Vec<(usize, usize)> {
+/// Rebuild a trace from mutated dense rows, keeping `m` and speed.
+fn reencode(
+    t: &parflow::core::ScheduleTrace,
+    rows: Vec<Vec<Action>>,
+) -> parflow::core::ScheduleTrace {
+    parflow::core::ScheduleTrace::from_dense(t.m, t.speed, rows)
+}
+
+/// Indices of all Work actions in the dense rows.
+fn work_positions(rows: &[Vec<Action>]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
-    for (r, row) in trace.rounds.iter().enumerate() {
+    for (r, row) in rows.iter().enumerate() {
         for (p, a) in row.iter().enumerate() {
             if matches!(a, Action::Work { .. }) {
                 out.push((r, p));
@@ -37,13 +49,15 @@ fn dropping_any_work_unit_is_caught() {
     for seed in [1u64, 2, 3] {
         let (inst, trace) = traced_run(seed);
         assert_eq!(trace.validate(&inst), Ok(()));
-        let positions = work_positions(&trace);
+        let dense = trace.to_dense();
+        let positions = work_positions(&dense);
         let mut rng = SmallRng::seed_from_u64(seed);
         // Drop 10 random work units; each must break work conservation.
         for _ in 0..10 {
             let (r, p) = positions[rng.gen_range(0..positions.len())];
-            let mut corrupted = trace.clone();
-            corrupted.rounds[r][p] = Action::Idle;
+            let mut rows = dense.clone();
+            rows[r][p] = Action::Idle;
+            let corrupted = reencode(&trace, rows);
             assert!(
                 corrupted.validate(&inst).is_err(),
                 "dropping work at round {r} proc {p} must be detected"
@@ -56,17 +70,17 @@ fn dropping_any_work_unit_is_caught() {
 fn duplicating_work_after_completion_is_caught() {
     for seed in [4u64, 5] {
         let (inst, trace) = traced_run(seed);
-        let positions = work_positions(&trace);
+        let mut rows = trace.to_dense();
+        let positions = work_positions(&rows);
         // Re-execute the LAST work action of the trace in an appended round:
         // that node is already complete, so this must over-execute.
         let &(r, p) = positions.last().unwrap();
-        let dup = trace.rounds[r][p];
-        let mut corrupted = trace.clone();
-        let mut row = vec![Action::Idle; corrupted.m];
+        let dup = rows[r][p];
+        let mut row = vec![Action::Idle; trace.m];
         row[0] = dup;
-        corrupted.rounds.push(row);
+        rows.push(row);
         assert!(
-            corrupted.validate(&inst).is_err(),
+            reencode(&trace, rows).validate(&inst).is_err(),
             "duplicated terminal work unit must be detected"
         );
     }
@@ -75,14 +89,14 @@ fn duplicating_work_after_completion_is_caught() {
 #[test]
 fn retargeting_to_unknown_job_is_caught() {
     let (inst, trace) = traced_run(7);
-    let positions = work_positions(&trace);
+    let mut rows = trace.to_dense();
+    let positions = work_positions(&rows);
     let (r, p) = positions[positions.len() / 2];
-    let mut corrupted = trace.clone();
-    corrupted.rounds[r][p] = Action::Work {
+    rows[r][p] = Action::Work {
         job: inst.len() as u32 + 5,
         node: 0,
     };
-    assert!(corrupted.validate(&inst).is_err());
+    assert!(reencode(&trace, rows).validate(&inst).is_err());
 }
 
 #[test]
@@ -95,16 +109,16 @@ fn moving_work_before_arrival_is_caught() {
         .iter()
         .find(|j| j.arrival > 2)
         .expect("some job arrives after tick 2");
-    let mut corrupted = trace.clone();
-    let mut row = vec![Action::Idle; corrupted.m];
+    let mut rows = trace.to_dense();
+    let mut row = vec![Action::Idle; trace.m];
     row[0] = Action::Work {
         job: late_job.id,
         node: late_job.dag.sources()[0],
     };
-    corrupted.rounds.insert(0, row);
+    rows.insert(0, row);
     // The prepended unit runs before the job arrived (and the trace now
     // also over-executes that node) — either way, validation must fail.
-    assert!(corrupted.validate(&inst).is_err());
+    assert!(reencode(&trace, rows).validate(&inst).is_err());
 }
 
 #[test]
@@ -117,21 +131,21 @@ fn reordering_chain_execution_is_caught() {
     let (_, trace) = run_priority(&inst, &SimConfig::new(1).with_trace(), &Fifo);
     let trace = trace.unwrap();
     assert_eq!(trace.validate(&inst), Ok(()));
-    let mut corrupted = trace.clone();
+    let mut rows = trace.to_dense();
     // Swap the two work rounds.
-    corrupted.rounds.swap(0, 1);
-    assert!(corrupted.validate(&inst).is_err());
+    rows.swap(0, 1);
+    assert!(reencode(&trace, rows).validate(&inst).is_err());
 }
 
 #[test]
 fn truncating_the_tail_is_caught() {
     let (inst, trace) = traced_run(13);
-    let mut corrupted = trace.clone();
+    let mut rows = trace.to_dense();
     // Remove trailing rounds until we have removed at least one Work action.
     let mut removed_work = false;
     while !removed_work {
-        let row = corrupted.rounds.pop().expect("trace non-empty");
+        let row = rows.pop().expect("trace non-empty");
         removed_work = row.iter().any(|a| matches!(a, Action::Work { .. }));
     }
-    assert!(corrupted.validate(&inst).is_err());
+    assert!(reencode(&trace, rows).validate(&inst).is_err());
 }
