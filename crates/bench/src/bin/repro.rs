@@ -13,9 +13,12 @@
 //! Flags: `--csv DIR` persists every table as CSV; `--list` enumerates
 //! experiment names; `--bench-json PATH` appends an engine-throughput
 //! measurement and writes the [`parflow_bench::throughput::BenchReport`]
-//! JSON (the `BENCH_engine.json` trajectory baseline). Environment:
-//! `PARFLOW_JOBS=100000` for paper-scale runs, `PARFLOW_SEED` to reseed,
-//! `PARFLOW_THREADS` to size the experiment-point thread pool.
+//! JSON (the `BENCH_engine.json` trajectory baseline); `--obs-json PATH`
+//! times every experiment as an observability phase, runs instrumented
+//! engine + runtime probes, and writes the `parflow-obs` run report
+//! (counters, per-worker telemetry, latency histograms, phase wall times).
+//! Environment: `PARFLOW_JOBS=100000` for paper-scale runs, `PARFLOW_SEED`
+//! to reseed, `PARFLOW_THREADS` to size the experiment-point thread pool.
 
 use parflow_bench::experiments::{
     backlog, base_seed, burst, equi_ablation, fault_resilience, fig2, fig3, grain, intervals,
@@ -23,7 +26,9 @@ use parflow_bench::experiments::{
     theory_fifo, theory_ws, variance, victim_ablation, weighted_ws,
 };
 use parflow_bench::{throughput, Reporter};
+use parflow_obs::{AggregatingRecorder, Recorder};
 use parflow_workloads::DistKind;
+use std::cell::RefCell;
 
 /// Every experiment name `repro` understands, in run order.
 const EXPERIMENTS: &[&str] = &[
@@ -53,8 +58,35 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}");
-    eprintln!("usage: repro [--csv DIR] [--bench-json PATH] [--list] [EXPERIMENT...]");
+    eprintln!(
+        "usage: repro [--csv DIR] [--bench-json PATH] [--obs-json PATH] [--list] [EXPERIMENT...]"
+    );
     std::process::exit(2);
+}
+
+/// Times one experiment as an observability phase: `SpanBegin` on
+/// construction, `SpanEnd` on drop, so early exits still close the span.
+/// A `None` recorder makes the guard free.
+struct PhaseGuard<'a> {
+    rec: Option<&'a RefCell<AggregatingRecorder>>,
+    name: &'static str,
+}
+
+impl<'a> PhaseGuard<'a> {
+    fn begin(rec: Option<&'a RefCell<AggregatingRecorder>>, name: &'static str) -> Self {
+        if let Some(r) = rec {
+            r.borrow_mut().span_begin(name);
+        }
+        PhaseGuard { rec, name }
+    }
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rec {
+            r.borrow_mut().span_end(self.name);
+        }
+    }
 }
 
 fn banner(title: &str) {
@@ -86,6 +118,7 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let mut reporter = Reporter::stdout_only();
     let mut bench_json: Option<String> = None;
+    let mut obs_json: Option<String> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -101,6 +134,12 @@ fn main() {
                 bench_json = Some(
                     it.next()
                         .unwrap_or_else(|| usage_error("--bench-json needs a file path argument")),
+                );
+            }
+            "--obs-json" => {
+                obs_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--obs-json needs a file path argument")),
                 );
             }
             "--list" => {
@@ -122,21 +161,32 @@ fn main() {
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     let seed = base_seed();
+    // One shared recorder behind `--obs-json`; each experiment block opens
+    // a drop-guarded phase span, so the report's `phases` section is a
+    // per-experiment wall-time breakdown of this invocation.
+    let obs = obs_json
+        .as_ref()
+        .map(|_| RefCell::new(AggregatingRecorder::new()));
 
     if want("fig2-bing") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "fig2-bing");
         run_fig2(DistKind::Bing, "a", &reporter);
     }
     if want("fig2-finance") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "fig2-finance");
         run_fig2(DistKind::Finance, "b", &reporter);
     }
     if want("fig2-lognormal") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "fig2-lognormal");
         run_fig2(DistKind::LogNormal, "c", &reporter);
     }
     if want("fig3") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "fig3");
         banner("Figure 3: request work distributions");
         println!("{}", fig3::render(200_000, seed));
     }
     if want("lower-bound") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "lower-bound");
         banner("Lemma 5.1: work stealing is Omega(log n)-competitive");
         let pts = lower_bound::run(&lower_bound::default_ms(), 200_000, seed);
         reporter
@@ -145,6 +195,7 @@ fn main() {
         println!("expected shape: WS max flow grows ~m/10 with m = Theta(log n); FIFO stays ~2");
     }
     if want("theory-fifo") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "theory-fifo");
         banner("Theorem 3.1: FIFO with (1+eps) speed is (3/eps)-competitive");
         let pts = theory_fifo::run(jobs_per_point().min(20_000), seed);
         reporter
@@ -152,6 +203,7 @@ fn main() {
             .expect("csv write");
     }
     if want("theory-ws") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "theory-ws");
         banner("Theorem 4.1: steal-k-first with (k+1+eps) speed, normalized flow");
         let pts = theory_ws::run(&[0, 2, 16], &[2_000, 8_000, 32_000], seed);
         reporter
@@ -159,6 +211,7 @@ fn main() {
             .expect("csv write");
     }
     if want("theory-bwf") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "theory-bwf");
         banner("Theorem 7.1: BWF with (1+eps) speed is (3/eps^2)-competitive (weighted)");
         let pts = theory_bwf::run(jobs_per_point().min(20_000), 1_000, seed);
         reporter
@@ -166,6 +219,7 @@ fn main() {
             .expect("csv write");
     }
     if want("steal-k") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "steal-k");
         banner("Ablation: steal-k-first parameter sweep (Bing workload)");
         let pts = steal_k::run(&steal_k::default_ks(), &[800.0, 1000.0, 1200.0], seed);
         reporter
@@ -174,6 +228,7 @@ fn main() {
         println!("expected shape: larger k approaches OPT; k=0 degrades at high QPS");
     }
     if want("victim-ablation") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "victim-ablation");
         banner("Ablation: victim selection vs the Lemma 5.1 lower bound");
         let pts = victim_ablation::run(&[20, 40, 60, 80], 150_000, seed);
         reporter
@@ -182,6 +237,7 @@ fn main() {
         println!("expected shape: random victims degrade ~m/10; scanning collapses to O(1)");
     }
     if want("equi") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "equi");
         banner("Ablation: EQUI (processor sharing) vs FIFO for max flow");
         let pts = equi_ablation::run(&[800.0, 1000.0, 1200.0], jobs_per_point().min(20_000), seed);
         reporter
@@ -190,6 +246,7 @@ fn main() {
         println!("expected shape: EQUI's max-flow gap to FIFO grows with load");
     }
     if want("norms") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "norms");
         banner("Extension: l_k norms of flow time and maximum stretch");
         let pts = norms::run(jobs_per_point().min(20_000), seed);
         reporter
@@ -197,6 +254,7 @@ fn main() {
             .expect("csv write");
     }
     if want("grain") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "grain");
         banner("Ablation: parallel-for chunk granularity (steal-16-first)");
         let pts = grain::run(
             &grain::default_grains(),
@@ -211,6 +269,7 @@ fn main() {
         println!("too-coarse grains raise span; the sweet spot sits near ~1-3 ms chunks");
     }
     if want("burst") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "burst");
         banner("Robustness: bursty arrivals at fixed average load");
         let pts = burst::run(&burst::default_bursts(), jobs_per_point().min(20_000), seed);
         reporter
@@ -219,6 +278,7 @@ fn main() {
         println!("expected shape: everyone degrades with burst size; admit-first fastest");
     }
     if want("scaling") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "scaling");
         banner("Extension: machine-size scaling at fixed 65% utilization (Bing)");
         let pts = scaling::run(&scaling::default_ms(), jobs_per_point().min(20_000), seed);
         reporter
@@ -227,6 +287,7 @@ fn main() {
         println!("expected shape: steal-16 tracks OPT at every m; admit-first gap persists");
     }
     if want("variance") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "variance");
         banner("Extension: max-flow variance across seeds (w.h.p. in practice)");
         let pts = variance::run(1100.0, jobs_per_point().min(20_000), 10, seed);
         reporter
@@ -234,6 +295,7 @@ fn main() {
             .expect("csv write");
     }
     if want("steal-amount") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "steal-amount");
         banner("Ablation: steal-one vs steal-half transfer granularity (unit-cost steals)");
         let pts = steal_amount::run(&[800.0, 1000.0, 1200.0], jobs_per_point().min(20_000), seed);
         reporter
@@ -241,6 +303,7 @@ fn main() {
             .expect("csv write");
     }
     if want("weighted-ws") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "weighted-ws");
         banner("Extension: distributed BWF (weight-ordered admission) vs centralized BWF");
         let pts = weighted_ws::run(&[800.0, 1000.0, 1200.0], jobs_per_point().min(20_000), seed);
         reporter
@@ -250,6 +313,7 @@ fn main() {
         println!("preemptive BWF wins consistently; see module docs for the analysis");
     }
     if want("fault-resilience") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "fault-resilience");
         banner("Robustness: admit-first vs steal-16-first under injected faults (QPS 1000)");
         let pts = fault_resilience::run(&fault_resilience::default_levels(), 1000.0, seed);
         reporter
@@ -261,6 +325,7 @@ fn main() {
         );
     }
     if want("lemmas") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "lemmas");
         banner("Lemma audit: proof-level quantities measured on real schedules");
         let a = lemma_audit::run(jobs_per_point().min(10_000), seed);
         reporter
@@ -268,6 +333,7 @@ fn main() {
             .expect("csv write");
     }
     if want("backlog") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "backlog");
         banner("Diagnostic: backlog dynamics, admit-first vs steal-16-first (QPS 1200)");
         let pts = backlog::run(1200.0, jobs_per_point().min(20_000), seed);
         reporter
@@ -277,6 +343,7 @@ fn main() {
         println!("steal-16-first queues them and drains admitted jobs with parallelism");
     }
     if want("intervals") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "intervals");
         banner("Figure 1: interval decomposition of the max-flow job's trace");
         match intervals::run(jobs_per_point().min(20_000), seed, (1, 10)) {
             Some(a) => {
@@ -312,5 +379,37 @@ fn main() {
             report.ws_admit.rounds_per_sec, report.centralized_fifo.rounds_per_sec
         );
         println!("(bench json written to {path})");
+    }
+
+    if let (Some(path), Some(cell)) = (obs_json, obs.as_ref()) {
+        banner("Observability report (--obs-json)");
+        {
+            let _p = PhaseGuard::begin(obs.as_ref(), "obs.engine_probe");
+            let mut rec = cell.borrow_mut();
+            throughput::probe_observed(seed, 2_000, &mut *rec);
+        }
+        {
+            let _p = PhaseGuard::begin(obs.as_ref(), "obs.runtime_probe");
+            let mut rec = cell.borrow_mut();
+            throughput::runtime_probe_observed(&mut *rec);
+        }
+        cell.borrow_mut()
+            .gauge("repro.wall_seconds", started.elapsed().as_secs_f64());
+        let report = cell.borrow().report();
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| usage_error(&format!("cannot write obs json `{path}`: {e}")));
+        println!(
+            "{} counters, {} gauges, {} histograms, {} phases",
+            report.counters.len(),
+            report.gauges.len(),
+            report.histograms.len(),
+            report.phases.len()
+        );
+        println!(
+            "engine probe: {} steal attempts, {} admissions (u64-exact counters)",
+            cell.borrow().counter_value("ws.steal_attempts", None),
+            cell.borrow().counter_value("ws.admissions", None),
+        );
+        println!("(obs json written to {path})");
     }
 }

@@ -10,7 +10,11 @@
 //! fails CI on a >2× throughput regression against that baseline.
 
 use crate::experiments::{jobs_per_point, PAPER_K, PAPER_M};
-use parflow_core::{run_priority, simulate_worksteal, Fifo, SimConfig, StealPolicy};
+use parflow_core::{
+    run_priority, run_priority_observed, run_worksteal_observed, simulate_worksteal, Fifo,
+    SimConfig, StealPolicy,
+};
+use parflow_obs::Recorder;
 use parflow_workloads::{DistKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -105,6 +109,40 @@ pub fn measure(seed: u64) -> BenchReport {
     }
 }
 
+/// Run the throughput probe instance once through the *observed* engine
+/// entry points, feeding per-worker steal/admission counters and flow-time
+/// samples into `rec`. Backs `repro --obs-json`: the report then contains
+/// `ws.worker.*[i]` counters (u64-exact, no saturation) next to the
+/// centralized engine's horizon/quiescence telemetry.
+pub fn probe_observed(seed: u64, jobs_cap: usize, rec: &mut dyn Recorder) {
+    let n = jobs_per_point().min(jobs_cap);
+    let m = PAPER_M;
+    let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, n, seed).generate();
+    let cfg = SimConfig::new(m).with_free_steals();
+    let _ = run_worksteal_observed(
+        &inst,
+        &cfg,
+        StealPolicy::StealKFirst { k: PAPER_K },
+        seed,
+        rec,
+    );
+    let _ = run_priority_observed(&inst, &SimConfig::new(m), &Fifo, rec);
+}
+
+/// Run a small burst on the *real* threaded executor and feed its
+/// per-worker stats and wall-clock latency histogram into `rec`. The
+/// second half of the `repro --obs-json` epilogue.
+pub fn runtime_probe_observed(rec: &mut dyn Recorder) {
+    use parflow_runtime::{run_workload, JobSpec, RtPolicy, RuntimeConfig};
+    use std::time::Duration;
+    let cfg = RuntimeConfig::new(2, RtPolicy::StealKFirst { k: 4 }).with_seed(7);
+    let wl: Vec<_> = (0..8u64)
+        .map(|i| (Duration::from_micros(50 * i), JobSpec::split(20_000, 4)))
+        .collect();
+    let r = run_workload(&cfg, &wl);
+    r.observe_into(rec);
+}
+
 /// Serialize `report` to pretty JSON with a trailing newline.
 ///
 /// Hand-rolled: the offline `serde_json` stub cannot serialize, and this
@@ -166,5 +204,22 @@ mod tests {
         // Exactly one rounds_per_sec line per engine, in declaration order
         // (scripts/bench_check reads them positionally).
         assert_eq!(json.matches("\"rounds_per_sec\"").count(), 3);
+    }
+
+    #[test]
+    fn observed_probes_populate_recorder() {
+        use parflow_obs::AggregatingRecorder;
+        std::env::set_var("PARFLOW_JOBS", "500");
+        let mut rec = AggregatingRecorder::new();
+        probe_observed(7, 500, &mut rec);
+        std::env::remove_var("PARFLOW_JOBS");
+        assert!(rec.counter_value("ws.steal_attempts", None) > 0);
+        assert!(rec.counter_value("ws.worker.work_steps", Some(0)) > 0);
+        assert!(rec.counter_value("central.work_steps", None) > 0);
+        assert!(!rec.samples("ws.flow_ticks").is_empty());
+
+        runtime_probe_observed(&mut rec);
+        assert!(rec.counter_value("rt.tasks_executed", None) > 0);
+        assert_eq!(rec.samples("rt.job_flow_ms").len(), 8);
     }
 }

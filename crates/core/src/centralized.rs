@@ -14,6 +14,7 @@ use crate::fault::JobStatus;
 use crate::result::{EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
 use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, StepOutcome};
+use parflow_obs::{NullRecorder, Recorder};
 use parflow_time::Round;
 
 #[cfg(any(test, feature = "reference-engine"))]
@@ -109,6 +110,20 @@ pub fn run_priority<P: JobPriority>(
     config: &SimConfig,
     policy: &P,
 ) -> (SimResult, Option<ScheduleTrace>) {
+    run_priority_observed(instance, config, policy, &mut NullRecorder)
+}
+
+/// [`run_priority`] with a [`Recorder`] attached. With the recorder
+/// disabled the run is bit-identical to `run_priority`. With it enabled,
+/// `central.*` counters (work/idle steps, event horizons, quiescent jumps),
+/// a `central.total_rounds` gauge and per-job `central.flow_ticks` samples
+/// are emitted at the end of the run.
+pub fn run_priority_observed<P: JobPriority>(
+    instance: &Instance,
+    config: &SimConfig,
+    policy: &P,
+    rec: &mut dyn Recorder,
+) -> (SimResult, Option<ScheduleTrace>) {
     let jobs = instance.jobs();
     let n = jobs.len();
     let m = config.m;
@@ -126,6 +141,12 @@ pub fn run_priority<P: JobPriority>(
     let mut completed = 0usize;
     let mut round: Round = 0;
     let mut last_busy_round: Round = 0;
+
+    // Event-horizon telemetry, kept in locals (not EngineStats, which
+    // goldens bit-compare) and flushed once at the end when observing.
+    let obs = rec.enabled();
+    let mut horizons: u64 = 0;
+    let mut quiescent_jumps: u64 = 0;
 
     // Every round with an active job executes at least one unit, so this
     // bound can only be exceeded by an engine bug.
@@ -160,6 +181,9 @@ pub fn run_priority<P: JobPriority>(
             debug_assert!(target > round);
             let gap = target - round;
             stats.idle_steps += gap * m as u64;
+            if obs {
+                quiescent_jumps += 1;
+            }
             if let Some(t) = trace.as_mut() {
                 t.push_idle_rounds(gap);
             }
@@ -251,6 +275,9 @@ pub fn run_priority<P: JobPriority>(
 
         stats.work_steps += delta * claimed.len() as u64;
         stats.idle_steps += delta * (m - claimed.len()) as u64;
+        if obs {
+            horizons += 1;
+        }
         last_busy_round = last;
 
         if let Some(t) = trace.as_mut() {
@@ -272,6 +299,16 @@ pub fn run_priority<P: JobPriority>(
         .into_iter()
         .map(|o| o.expect("all jobs completed"))
         .collect();
+    if obs {
+        rec.counter("central.work_steps", stats.work_steps);
+        rec.counter("central.idle_steps", stats.idle_steps);
+        rec.counter("central.event_horizons", horizons);
+        rec.counter("central.quiescent_jumps", quiescent_jumps);
+        rec.gauge("central.total_rounds", (last_busy_round + 1) as f64);
+        for o in &outcomes {
+            rec.sample("central.flow_ticks", o.flow.to_f64());
+        }
+    }
     let result = SimResult {
         m,
         speed,
@@ -669,6 +706,30 @@ mod tests {
                 assert_eq!(fast_b.stats, slow_b.stats, "bwf m={m} s={speed}");
             }
         }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let inst = seq_jobs(&[(0, 4), (3, 5), (7, 2), (100, 1)]);
+        let cfg = SimConfig::new(2);
+        let (plain, _) = run_priority(&inst, &cfg, &Fifo);
+        let mut rec = parflow_obs::AggregatingRecorder::new();
+        let (observed, _) = run_priority_observed(&inst, &cfg, &Fifo, &mut rec);
+        assert_eq!(plain.outcomes, observed.outcomes);
+        assert_eq!(plain.stats, observed.stats);
+        assert_eq!(
+            rec.counter_value("central.work_steps", None),
+            observed.stats.work_steps
+        );
+        assert_eq!(
+            rec.counter_value("central.idle_steps", None),
+            observed.stats.idle_steps
+        );
+        // The 100-tick gap forces at least one quiescent jump, and every
+        // run with work has at least one event horizon.
+        assert!(rec.counter_value("central.quiescent_jumps", None) >= 1);
+        assert!(rec.counter_value("central.event_horizons", None) >= 1);
+        assert_eq!(rec.samples("central.flow_ticks").len(), 4);
     }
 
     #[test]

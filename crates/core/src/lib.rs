@@ -85,8 +85,8 @@ mod worksteal;
 #[cfg(feature = "reference-engine")]
 pub use centralized::run_priority_reference;
 pub use centralized::{
-    run_priority, simulate_bwf, simulate_fifo, BiggestWeightFirst, Fifo, JobPriority, Lifo,
-    ShortestJobFirst,
+    run_priority, run_priority_observed, simulate_bwf, simulate_fifo, BiggestWeightFirst, Fifo,
+    JobPriority, Lifo, ShortestJobFirst,
 };
 pub use config::{AdmissionOrder, SimConfig, StealAmount, StealCost, VictimStrategy};
 pub use dispatch::{ParseSchedulerError, SchedulerKind};
@@ -106,7 +106,7 @@ pub use opt::{
 };
 pub use result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 pub use trace::{Action, ScheduleTrace, TraceSpan, TraceViolation};
-pub use worksteal::{run_worksteal, simulate_worksteal, StealPolicy};
+pub use worksteal::{run_worksteal, run_worksteal_observed, simulate_worksteal, StealPolicy};
 
 #[cfg(test)]
 mod proptests {

@@ -60,7 +60,7 @@ pub enum TraceSpan {
 /// encoded. Use [`ScheduleTrace::rounds`] to iterate per-round rows
 /// (idle rounds yield `None`), or [`ScheduleTrace::to_dense`] for the
 /// expanded `rounds[r][p]` form.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduleTrace {
     /// Number of processors.
     pub m: usize,

@@ -35,6 +35,7 @@ use crate::fault::{FaultEvent, FaultKind, JobStatus, PanicSampler, SlowdownGate,
 use crate::result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
 use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, StepOutcome};
+use parflow_obs::{NullRecorder, Recorder};
 use parflow_time::Round;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -84,7 +85,9 @@ struct Worker {
     /// Nodes enabled during the current round, flushed to `deque` at round end.
     pending: Vec<(JobId, NodeId)>,
     /// Consecutive failed steal attempts since the last success/work.
-    failed_steals: u32,
+    /// `u64` so quiescent fast-forwards count every skipped round exactly;
+    /// the old `u32` silently saturated past ~4.3e9 rounds.
+    failed_steals: u64,
     /// Next victim index for the round-robin scan strategy.
     scan_next: usize,
 }
@@ -101,6 +104,32 @@ impl Worker {
             scan_next: index + 1,
         }
     }
+}
+
+/// Per-worker telemetry, maintained only when a [`Recorder`] is enabled
+/// and flushed as `ws.worker.*` counters at the end of the run. Kept out
+/// of [`EngineStats`] (which goldens bit-compare) and out of `Worker`
+/// (which the hot loop touches) so the disabled path stays byte-identical
+/// and allocation-free.
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerObs {
+    /// Work units executed by this worker.
+    work_steps: u64,
+    /// Steal attempts charged to this worker (excludes quiescent gaps,
+    /// mirroring `EngineStats::steal_attempts`).
+    steal_attempts: u64,
+    /// Successful steals.
+    successful_steals: u64,
+    /// Rounds this worker spent on failed steals (unit-cost model) or
+    /// quiescent fast-forwarded rounds.
+    failed_steal_rounds: u64,
+    /// Jobs admitted from the global queue by this worker.
+    admissions: u64,
+    /// Idle rounds (free-steal model and quiescent gaps).
+    idle_steps: u64,
+    /// Largest consecutive failed-steal streak ever observed — the value
+    /// the `failed_steals` u32→u64 widening makes exact.
+    max_failed_streak: u64,
 }
 
 /// One steal attempt by worker `p`; the victim is chosen per `strategy`
@@ -333,6 +362,24 @@ pub fn run_worksteal(
     policy: StealPolicy,
     seed: u64,
 ) -> (SimResult, Option<ScheduleTrace>) {
+    run_worksteal_observed(instance, config, policy, seed, &mut NullRecorder)
+}
+
+/// [`run_worksteal`] with a [`Recorder`] attached. With the recorder
+/// disabled (`rec.enabled() == false`) the run is bit-identical to
+/// `run_worksteal`: the RNG stream, `SimResult` and trace do not change.
+/// With it enabled, per-worker `ws.worker.*` counters (work steps, steal
+/// attempts/successes, failed-steal rounds, admissions, idle rounds, max
+/// failed-steal streak), engine-level `ws.*` counters mirroring
+/// [`EngineStats`], a `ws.total_rounds` gauge and per-job `ws.flow_ticks`
+/// samples are emitted at the end of the run.
+pub fn run_worksteal_observed(
+    instance: &Instance,
+    config: &SimConfig,
+    policy: StealPolicy,
+    seed: u64,
+    rec: &mut dyn Recorder,
+) -> (SimResult, Option<ScheduleTrace>) {
     let jobs = instance.jobs();
     let n = jobs.len();
     let m = config.m;
@@ -352,6 +399,15 @@ pub fn run_worksteal(
     let mut stats = EngineStats::default();
     let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
     let mut samples: Vec<BacklogSample> = Vec::new();
+
+    // Hoisted once: with the NullRecorder every `if obs` below is a dead
+    // branch and `wobs` stays empty (no allocation).
+    let obs = rec.enabled();
+    let mut wobs: Vec<WorkerObs> = if obs {
+        vec![WorkerObs::default(); m]
+    } else {
+        Vec::new()
+    };
 
     // Fault machinery. Orphaned tasks from crashed workers go into a
     // global FIFO of their own: claimed-node state lives in the job's
@@ -502,7 +558,8 @@ pub fn run_worksteal(
 
         // Quiescent fast-forward: nothing admitted is live and nothing is
         // queued — skip to the next arrival. The skipped rounds would be
-        // failed steal attempts; saturate every worker's failure counter.
+        // failed steal attempts; count every one of them (the counter is
+        // `u64`, so no clamping — the old `u32` version saturated here).
         // Fault boundaries clamp the jump so crash/stall transitions still
         // fire at their scheduled rounds.
         if live_admitted == 0 && global_queue.is_empty() && orphans.is_empty() {
@@ -516,9 +573,13 @@ pub fn run_worksteal(
             stats.idle_steps += gap * alive_count as u64;
             for (p, w) in workers.iter_mut().enumerate() {
                 if alive[p] {
-                    w.failed_steals = w
-                        .failed_steals
-                        .saturating_add(gap.min(u32::MAX as u64) as u32);
+                    w.failed_steals = w.failed_steals.saturating_add(gap);
+                    if obs {
+                        let o = &mut wobs[p];
+                        o.failed_steal_rounds += gap;
+                        o.idle_steps += gap;
+                        o.max_failed_streak = o.max_failed_streak.max(w.failed_steals);
+                    }
                 }
             }
             // Backlog samples falling inside the skipped span are still
@@ -634,6 +695,13 @@ pub fn run_worksteal(
                         };
                         let idle = (m - busy) as u64;
                         stats.steal_attempts += delta * per_round * idle;
+                        if obs {
+                            for (p, w) in workers.iter().enumerate() {
+                                if w.current.is_none() {
+                                    wobs[p].steal_attempts += delta * per_round;
+                                }
+                            }
+                        }
                         match config.victim {
                             VictimStrategy::Uniform => {
                                 burn_uniform_draws(&mut rng, m, delta * per_round * idle);
@@ -651,11 +719,15 @@ pub fn run_worksteal(
                             StealCost::UnitStep => {
                                 // A failed unit-cost steal consumes the
                                 // round and bumps the failure counter.
-                                for w in workers.iter_mut() {
+                                for (p, w) in workers.iter_mut().enumerate() {
                                     if w.current.is_none() {
-                                        w.failed_steals = w
-                                            .failed_steals
-                                            .saturating_add(delta.min(u32::MAX as u64) as u32);
+                                        w.failed_steals = w.failed_steals.saturating_add(delta);
+                                        if obs {
+                                            let o = &mut wobs[p];
+                                            o.failed_steal_rounds += delta;
+                                            o.max_failed_streak =
+                                                o.max_failed_streak.max(w.failed_steals);
+                                        }
                                     }
                                 }
                             }
@@ -663,16 +735,26 @@ pub fn run_worksteal(
                                 // Free attempts cost nothing; the round
                                 // itself is recorded as idle.
                                 stats.idle_steps += delta * idle;
+                                if obs {
+                                    for (p, w) in workers.iter().enumerate() {
+                                        if w.current.is_none() {
+                                            wobs[p].idle_steps += delta;
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
-                    for w in workers.iter_mut() {
+                    for (p, w) in workers.iter_mut().enumerate() {
                         let Some((jid, v)) = w.current else {
                             continue;
                         };
                         let job = &jobs[jid as usize];
                         let cursor = cursors[jid as usize].as_mut().expect("admitted job");
                         stats.work_steps += delta;
+                        if obs {
+                            wobs[p].work_steps += delta;
+                        }
                         w.failed_steals = 0;
                         ready_scratch.clear();
                         match cursor
@@ -792,7 +874,7 @@ pub fn run_worksteal(
                         let admit_now = match policy {
                             StealPolicy::AdmitFirst => !global_queue.is_empty(),
                             StealPolicy::StealKFirst { k } => {
-                                workers[p].failed_steals >= k && !global_queue.is_empty()
+                                workers[p].failed_steals >= k as u64 && !global_queue.is_empty()
                             }
                         };
                         if admit_now {
@@ -809,11 +891,17 @@ pub fn run_worksteal(
                             started[jid as usize] = Some(round);
                             live_admitted += 1;
                             stats.admissions += 1;
+                            if obs {
+                                wobs[p].admissions += 1;
+                            }
                             stealable_cache = None;
                         } else {
                             // Steal attempt: one full round; the stolen node
                             // (if any) starts executing next round.
                             stats.steal_attempts += 1;
+                            if obs {
+                                wobs[p].steal_attempts += 1;
+                            }
                             let stealable = match stealable_cache {
                                 Some(v) => v,
                                 None => {
@@ -838,10 +926,19 @@ pub fn run_worksteal(
                             if hit {
                                 stats.successful_steals += 1;
                                 workers[p].failed_steals = 0;
+                                if obs {
+                                    wobs[p].successful_steals += 1;
+                                }
                                 stealable_cache = None;
                             } else {
                                 workers[p].failed_steals =
                                     workers[p].failed_steals.saturating_add(1);
+                                if obs {
+                                    let o = &mut wobs[p];
+                                    o.failed_steal_rounds += 1;
+                                    o.max_failed_streak =
+                                        o.max_failed_streak.max(workers[p].failed_steals);
+                                }
                             }
                             if config.record_trace {
                                 row.push(Action::Steal { hit });
@@ -868,6 +965,9 @@ pub fn run_worksteal(
                                 started[jid as usize] = Some(round);
                                 live_admitted += 1;
                                 stats.admissions += 1;
+                                if obs {
+                                    wobs[p].admissions += 1;
+                                }
                                 stealable_cache = None;
                             } else {
                                 // Scan for stealable work.
@@ -883,6 +983,9 @@ pub fn run_worksteal(
                                 if stealable {
                                     for _ in 0..attempts {
                                         stats.steal_attempts += 1;
+                                        if obs {
+                                            wobs[p].steal_attempts += 1;
+                                        }
                                         if steal_into(
                                             p,
                                             &mut workers,
@@ -892,12 +995,18 @@ pub fn run_worksteal(
                                             &blackholed,
                                         ) {
                                             stats.successful_steals += 1;
+                                            if obs {
+                                                wobs[p].successful_steals += 1;
+                                            }
                                             stealable_cache = None;
                                             break;
                                         }
                                     }
                                 } else {
                                     stats.steal_attempts += attempts as u64;
+                                    if obs {
+                                        wobs[p].steal_attempts += attempts as u64;
+                                    }
                                     burn_failed_attempts(
                                         &mut rng,
                                         &mut workers,
@@ -919,6 +1028,9 @@ pub fn run_worksteal(
                             if stealable {
                                 for _ in 0..k {
                                     stats.steal_attempts += 1;
+                                    if obs {
+                                        wobs[p].steal_attempts += 1;
+                                    }
                                     if steal_into(
                                         p,
                                         &mut workers,
@@ -928,12 +1040,18 @@ pub fn run_worksteal(
                                         &blackholed,
                                     ) {
                                         stats.successful_steals += 1;
+                                        if obs {
+                                            wobs[p].successful_steals += 1;
+                                        }
                                         stealable_cache = None;
                                         break;
                                     }
                                 }
                             } else {
                                 stats.steal_attempts += k as u64;
+                                if obs {
+                                    wobs[p].steal_attempts += k as u64;
+                                }
                                 burn_failed_attempts(
                                     &mut rng,
                                     &mut workers,
@@ -957,12 +1075,18 @@ pub fn run_worksteal(
                                     started[jid as usize] = Some(round);
                                     live_admitted += 1;
                                     stats.admissions += 1;
+                                    if obs {
+                                        wobs[p].admissions += 1;
+                                    }
                                     stealable_cache = None;
                                 }
                             }
                         }
                         if workers[p].current.is_none() {
                             stats.idle_steps += 1;
+                            if obs {
+                                wobs[p].idle_steps += 1;
+                            }
                             if config.record_trace {
                                 row.push(Action::Idle);
                             }
@@ -977,6 +1101,9 @@ pub fn run_worksteal(
             let job = &jobs[jid as usize];
             let cursor = cursors[jid as usize].as_mut().expect("admitted job");
             stats.work_steps += 1;
+            if obs {
+                wobs[p].work_steps += 1;
+            }
             workers[p].failed_steals = 0;
             ready_scratch.clear();
             match cursor
@@ -1069,6 +1196,30 @@ pub fn run_worksteal(
         .into_iter()
         .map(|o| o.expect("all jobs completed"))
         .collect();
+    if obs {
+        for (p, o) in wobs.iter().enumerate() {
+            rec.counter_at("ws.worker.work_steps", p, o.work_steps);
+            rec.counter_at("ws.worker.steal_attempts", p, o.steal_attempts);
+            rec.counter_at("ws.worker.successful_steals", p, o.successful_steals);
+            rec.counter_at("ws.worker.failed_steal_rounds", p, o.failed_steal_rounds);
+            rec.counter_at("ws.worker.admissions", p, o.admissions);
+            rec.counter_at("ws.worker.idle_steps", p, o.idle_steps);
+            rec.counter_at("ws.worker.max_failed_streak", p, o.max_failed_streak);
+        }
+        rec.counter("ws.work_steps", stats.work_steps);
+        rec.counter("ws.steal_attempts", stats.steal_attempts);
+        rec.counter("ws.successful_steals", stats.successful_steals);
+        rec.counter("ws.admissions", stats.admissions);
+        rec.counter("ws.idle_steps", stats.idle_steps);
+        rec.counter("ws.faulted_steps", stats.faulted_steps);
+        rec.counter("ws.crashed_workers", stats.crashed_workers);
+        rec.counter("ws.reinjected_tasks", stats.reinjected_tasks);
+        rec.counter("ws.injected_panics", stats.injected_panics);
+        rec.gauge("ws.total_rounds", (last_busy_round + 1) as f64);
+        for o in &outcomes {
+            rec.sample("ws.flow_ticks", o.flow.to_f64());
+        }
+    }
     let result = SimResult {
         m,
         speed,
@@ -1156,9 +1307,10 @@ mod tests {
     }
 
     #[test]
-    fn counter_saturation_after_quiescence() {
-        // Second job arrives after a long quiescent gap: counters saturate
-        // during fast-forward so it is admitted immediately on arrival.
+    fn counter_accumulates_over_quiescence() {
+        // Second job arrives after a long quiescent gap: the fast-forward
+        // counts every skipped round as a failed steal (formerly saturating
+        // at u32::MAX), so the job is admitted immediately on arrival.
         let inst = inst_seq(&[(0, 1), (1000, 1)]);
         let r = simulate_worksteal(
             &inst,
@@ -1167,6 +1319,81 @@ mod tests {
             3,
         );
         assert_eq!(r.outcomes[1].flow, Rational::from_int(1));
+    }
+
+    #[test]
+    fn quiescent_gap_past_u32_max_counts_exactly() {
+        // Regression for the u32 saturation bug: a quiescent gap longer
+        // than u32::MAX rounds must be counted exactly. The old `u32`
+        // counter clamped `gap` to u32::MAX; only the obs layer can see
+        // the difference, because admission merely compares `>= k`.
+        let gap = u32::MAX as u64 + 70;
+        let inst = inst_seq(&[(0, 1), (gap, 1)]);
+        let mut rec = parflow_obs::AggregatingRecorder::new();
+        let (r, _) = run_worksteal_observed(
+            &inst,
+            &SimConfig::new(2),
+            StealPolicy::StealKFirst { k: 16 },
+            3,
+            &mut rec,
+        );
+        // Scheduling behaviour is unchanged by the widening.
+        assert_eq!(r.outcomes[1].flow, Rational::from_int(1));
+        // The max failed-steal streak exceeds what a u32 could represent:
+        // some worker idled through (almost) the whole gap.
+        let streak = (0..2)
+            .map(|p| rec.counter_value("ws.worker.max_failed_streak", Some(p)))
+            .max()
+            .unwrap();
+        assert!(
+            streak > u32::MAX as u64,
+            "streak {streak} still fits in u32 — counter saturated?"
+        );
+        // Quiescent rounds are idle, not steal attempts: per-worker
+        // attempt counters must agree with the engine aggregate.
+        let sum: u64 = (0..2)
+            .map(|p| rec.counter_value("ws.worker.steal_attempts", Some(p)))
+            .sum();
+        assert_eq!(sum, r.stats.steal_attempts);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_totals_add_up() {
+        // An enabled recorder must not perturb the simulation, and the
+        // per-worker counters must partition the engine-level totals.
+        let dag = Arc::new(shapes::diamond(6, 3));
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(i, (i as u64) * 2, dag.clone()))
+            .collect();
+        let inst = Instance::new(jobs);
+        let cfg = SimConfig::new(4);
+        let policy = StealPolicy::StealKFirst { k: 2 };
+        let plain = simulate_worksteal(&inst, &cfg, policy, 42);
+        let mut rec = parflow_obs::AggregatingRecorder::new();
+        let (observed, _) = run_worksteal_observed(&inst, &cfg, policy, 42, &mut rec);
+        assert_eq!(plain.outcomes, observed.outcomes);
+        assert_eq!(plain.stats, observed.stats);
+        let m = cfg.m;
+        let sum = |name: &str| -> u64 { (0..m).map(|p| rec.counter_value(name, Some(p))).sum() };
+        assert_eq!(sum("ws.worker.work_steps"), observed.stats.work_steps);
+        assert_eq!(
+            sum("ws.worker.steal_attempts"),
+            observed.stats.steal_attempts
+        );
+        assert_eq!(
+            sum("ws.worker.successful_steals"),
+            observed.stats.successful_steals
+        );
+        assert_eq!(sum("ws.worker.admissions"), observed.stats.admissions);
+        assert_eq!(
+            rec.counter_value("ws.work_steps", None),
+            observed.stats.work_steps
+        );
+        assert_eq!(
+            rec.gauge_value("ws.total_rounds", None),
+            Some(observed.total_rounds as f64)
+        );
+        assert_eq!(rec.samples("ws.flow_ticks").len(), observed.outcomes.len());
     }
 
     #[test]

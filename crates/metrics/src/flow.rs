@@ -36,14 +36,15 @@ impl FlowStats {
         let mut vals: Vec<f64> = flows.iter().map(|f| f.to_f64()).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("flows are finite"));
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let pct = |q: f64| try_percentile_sorted(&vals, q).expect("non-empty, q in range");
         Some(FlowStats {
             count: vals.len(),
             max,
             mean,
-            p50: percentile_sorted(&vals, 0.50),
-            p95: percentile_sorted(&vals, 0.95),
-            p99: percentile_sorted(&vals, 0.99),
-            p999: percentile_sorted(&vals, 0.999),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            p999: pct(0.999),
         })
     }
 
@@ -53,12 +54,29 @@ impl FlowStats {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice; `None` when the
+/// slice is empty or `q` falls outside `[0, 1]` (NaN included).
+///
+/// Prefer this over [`percentile_sorted`] anywhere the inputs are not
+/// already validated — reporting paths should degrade, not panic.
+pub fn try_percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice; `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// On an empty slice or out-of-range `q`; use [`try_percentile_sorted`]
+/// for a non-panicking variant.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    try_percentile_sorted(sorted, q).expect("validated above")
 }
 
 /// The competitive-style ratio `alg / lower_bound`, `None` when the bound is
@@ -131,6 +149,24 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         percentile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_bad_quantile_panics() {
+        percentile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn try_percentile_degrades_instead_of_panicking() {
+        assert_eq!(try_percentile_sorted(&[], 0.5), None);
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(try_percentile_sorted(&v, -0.1), None);
+        assert_eq!(try_percentile_sorted(&v, 1.1), None);
+        assert_eq!(try_percentile_sorted(&v, f64::NAN), None);
+        assert_eq!(try_percentile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(try_percentile_sorted(&v, 0.5), Some(2.0));
+        assert_eq!(try_percentile_sorted(&v, 1.0), Some(3.0));
     }
 
     #[test]

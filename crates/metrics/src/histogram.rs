@@ -4,13 +4,19 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A histogram over `f64` samples with uniform bins on `[lo, hi)`; samples
-/// outside the range are clamped into the edge bins.
+/// outside the range are clamped into the edge bins. NaN samples are
+/// counted separately (they are not data, but silently dropping them hides
+/// upstream bugs) and excluded from `total` and every probability.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
     total: u64,
+    /// NaN samples seen by [`Histogram::add`]. `serde(default)` keeps
+    /// pre-existing serialized histograms loadable.
+    #[serde(default)]
+    nan: u64,
 }
 
 impl Histogram {
@@ -23,11 +29,18 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            nan: 0,
         }
     }
 
-    /// Add one sample.
+    /// Add one sample. NaN goes to the separate [`nan`](Self::nan) tally:
+    /// the old behaviour silently binned it into bin 0 (`NaN as i64` casts
+    /// to 0), inflating the lowest bin with garbage.
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         let bins = self.counts.len();
         let t = (x - self.lo) / (self.hi - self.lo);
         let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
@@ -42,9 +55,15 @@ impl Histogram {
         }
     }
 
-    /// Total samples.
+    /// Total non-NaN samples.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// NaN samples rejected by [`Histogram::add`]; never part of
+    /// [`total`](Self::total) or any bin.
+    pub fn nan(&self) -> u64 {
+        self.nan
     }
 
     /// Raw bin counts.
@@ -89,6 +108,9 @@ impl Histogram {
                 "#".repeat(bar_len),
                 w = width
             );
+        }
+        if self.nan > 0 {
+            let _ = writeln!(out, "{:>10} | {} sample(s) excluded", "NaN", self.nan);
         }
         out
     }
@@ -153,6 +175,33 @@ mod tests {
         let h = Histogram::new(0.0, 1.0, 3);
         let s = h.render(10);
         assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn nan_counted_separately_not_bin_zero() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(f64::NAN);
+        h.add(0.5);
+        h.add(f64::NAN);
+        // NaN neither lands in bin 0 nor counts toward the total.
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.nan(), 2);
+        // Probabilities still sum to 1 over the real samples.
+        let mass: f64 = h.probabilities().iter().map(|&(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_surfaced_in_render() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        let s = h.render(10);
+        assert!(s.contains("NaN"), "render must surface NaN count: {s}");
+        assert!(s.contains("1 sample(s) excluded"));
+        // A clean histogram stays clean.
+        let clean = Histogram::new(0.0, 1.0, 2).render(10);
+        assert!(!clean.contains("NaN"));
     }
 
     #[test]

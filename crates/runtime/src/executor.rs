@@ -36,6 +36,7 @@
 use crate::task::{spin_kernel, JobShape, JobSpec, JobState, Task, TaskKind};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use parflow_core::{FaultEvent, FaultKind, FaultPlan, JobStatus, PanicSampler, PPM};
+use parflow_obs::Recorder;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +132,26 @@ pub struct RuntimeStats {
     pub orphaned_tasks: u64,
 }
 
+/// Per-worker counters, collected thread-locally in each worker loop (no
+/// shared-cacheline traffic) and returned when the thread exits. The sum
+/// over workers matches the corresponding [`RuntimeStats`] fields except
+/// for races the aggregate atomics also have.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtWorkerStats {
+    /// Chunk tasks executed by this worker.
+    pub tasks_executed: u64,
+    /// Steal attempts made by this worker.
+    pub steal_attempts: u64,
+    /// Successful steals.
+    pub successful_steals: u64,
+    /// Jobs this worker admitted from the global queue.
+    pub admissions: u64,
+    /// Chunk executions on this worker that panicked.
+    pub task_panics: u64,
+    /// Tasks this worker adopted from the orphan queue.
+    pub adopted_orphans: u64,
+}
+
 /// Result of one job in a runtime run.
 #[derive(Clone, Copy, Debug)]
 pub struct RtJobResult {
@@ -151,6 +172,8 @@ pub struct RuntimeResult {
     pub jobs: Vec<RtJobResult>,
     /// Aggregated counters.
     pub stats: RuntimeStats,
+    /// Per-worker counters, indexed by worker id.
+    pub worker_stats: Vec<RtWorkerStats>,
     /// Total wall-clock duration of the run.
     pub elapsed: Duration,
     /// True when the watchdog gave up on the run before all jobs finished.
@@ -189,6 +212,62 @@ impl RuntimeResult {
     /// True when every job ran to completion.
     pub fn all_completed(&self) -> bool {
         self.jobs.iter().all(|j| j.status.is_completed())
+    }
+
+    /// Per-job flow times in milliseconds, submission order.
+    pub fn flow_ms(&self) -> Vec<f64> {
+        self.jobs
+            .iter()
+            .map(|j| j.flow.as_secs_f64() * 1e3)
+            .collect()
+    }
+
+    /// Job-latency histogram: `bins` uniform bins over `[0, max_flow]` in
+    /// milliseconds. Returns `None` for an empty run (no bin range).
+    pub fn flow_histogram(&self, bins: usize) -> Option<parflow_metrics::Histogram> {
+        let flows = self.flow_ms();
+        let hi = flows.iter().copied().fold(0.0_f64, f64::max);
+        if flows.is_empty() || hi <= 0.0 {
+            return None;
+        }
+        let mut h = parflow_metrics::Histogram::new(0.0, hi * (1.0 + 1e-9), bins);
+        h.extend(flows);
+        Some(h)
+    }
+
+    /// Emit this result into a [`Recorder`]: `rt.*` aggregate counters,
+    /// per-worker `rt.worker.*` counters, per-job `rt.job_flow_ms` latency
+    /// samples (summarized as a histogram by the aggregating recorder),
+    /// fault-recovery event counts and an `rt.elapsed_ms` gauge.
+    pub fn observe_into(&self, rec: &mut dyn Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter("rt.tasks_executed", self.stats.tasks_executed);
+        rec.counter("rt.steal_attempts", self.stats.steal_attempts);
+        rec.counter("rt.successful_steals", self.stats.successful_steals);
+        rec.counter("rt.admissions", self.stats.admissions);
+        rec.counter("rt.task_panics", self.stats.task_panics);
+        rec.counter("rt.orphaned_tasks", self.stats.orphaned_tasks);
+        rec.counter("rt.aborted", self.aborted as u64);
+        for (p, w) in self.worker_stats.iter().enumerate() {
+            rec.counter_at("rt.worker.tasks_executed", p, w.tasks_executed);
+            rec.counter_at("rt.worker.steal_attempts", p, w.steal_attempts);
+            rec.counter_at("rt.worker.successful_steals", p, w.successful_steals);
+            rec.counter_at("rt.worker.admissions", p, w.admissions);
+            rec.counter_at("rt.worker.task_panics", p, w.task_panics);
+            rec.counter_at("rt.worker.adopted_orphans", p, w.adopted_orphans);
+        }
+        for j in &self.jobs {
+            rec.sample("rt.job_flow_ms", j.flow.as_secs_f64() * 1e3);
+        }
+        for e in &self.fault_events {
+            // One counter per fault kind: crash recovery and injection
+            // activity becomes visible without a full event dump.
+            rec.counter(&format!("rt.fault.{:?}", e.kind), 1);
+        }
+        rec.gauge("rt.elapsed_ms", self.elapsed.as_secs_f64() * 1e3);
+        rec.gauge("rt.workers", self.worker_stats.len() as f64);
     }
 }
 
@@ -472,7 +551,7 @@ pub fn try_run_workload(
         let seed = config.seed.wrapping_add(p as u64);
         handles.push(std::thread::spawn(move || {
             let local = deques[p].lock().take().expect("deque taken once");
-            worker_loop(p, &local, policy, seed, &shared);
+            worker_loop(p, &local, policy, seed, &shared)
         }));
     }
 
@@ -480,9 +559,13 @@ pub fn try_run_workload(
     if submitter.join().is_err() {
         error = Some(RuntimeError::SubmitterPanicked);
     }
+    let mut worker_stats = vec![RtWorkerStats::default(); config.workers];
     for (p, h) in handles.into_iter().enumerate() {
-        if h.join().is_err() {
-            error.get_or_insert(RuntimeError::WorkerPanicked(p));
+        match h.join() {
+            Ok(ws) => worker_stats[p] = ws,
+            Err(_) => {
+                error.get_or_insert(RuntimeError::WorkerPanicked(p));
+            }
         }
     }
     if let Some(w) = watchdog {
@@ -530,13 +613,21 @@ pub fn try_run_workload(
             task_panics: shared.task_panics.load(Ordering::Relaxed),
             orphaned_tasks: shared.orphaned_tasks.load(Ordering::Relaxed),
         },
+        worker_stats,
         elapsed: base.elapsed(),
         aborted: shared.aborted.load(Ordering::Acquire),
         fault_events,
     })
 }
 
-fn execute(p: usize, task: Task, local: &Deque<Task>, shared: &Shared, rate_ppm: u32) {
+fn execute(
+    p: usize,
+    task: Task,
+    local: &Deque<Task>,
+    shared: &Shared,
+    rate_ppm: u32,
+    wstats: &mut RtWorkerStats,
+) {
     // Tasks of an already-failed job are dropped, not executed.
     if task.job.is_failed() {
         return;
@@ -574,6 +665,7 @@ fn execute(p: usize, task: Task, local: &Deque<Task>, shared: &Shared, rate_ppm:
                 Ok(out) => {
                     std::hint::black_box(out);
                     shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    wstats.tasks_executed += 1;
                     if rate_ppm < PPM {
                         // Injected slowdown: stretch the chunk so the worker
                         // delivers `rate_ppm`/1e6 of full throughput.
@@ -588,6 +680,7 @@ fn execute(p: usize, task: Task, local: &Deque<Task>, shared: &Shared, rate_ppm:
                 }
                 Err(_) => {
                     shared.task_panics.fetch_add(1, Ordering::Relaxed);
+                    wstats.task_panics += 1;
                     shared.push_event(FaultKind::TaskPanic, Some(p), Some(job.id), seq);
                     if job.fail(shared.base) {
                         shared.job_terminal();
@@ -600,11 +693,12 @@ fn execute(p: usize, task: Task, local: &Deque<Task>, shared: &Shared, rate_ppm:
 
 /// Admit one job from the global queue, expanding its chunks onto `local`.
 /// Returns false if the queue was empty.
-fn try_admit(local: &Deque<Task>, shared: &Shared) -> bool {
+fn try_admit(local: &Deque<Task>, shared: &Shared, wstats: &mut RtWorkerStats) -> bool {
     loop {
         match shared.injector.steal() {
             Steal::Success(job) => {
                 shared.admissions.fetch_add(1, Ordering::Relaxed);
+                wstats.admissions += 1;
                 match job.shape {
                     JobShape::Flat | JobShape::Poison => {
                         for _ in 0..job.chunks {
@@ -634,8 +728,15 @@ fn try_admit(local: &Deque<Task>, shared: &Shared) -> bool {
     }
 }
 
-fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, shared: &Shared) {
+fn worker_loop(
+    p: usize,
+    local: &Deque<Task>,
+    policy: RtPolicy,
+    seed: u64,
+    shared: &Shared,
+) -> RtWorkerStats {
     let mut rng = SmallRng::seed_from_u64(seed);
+    let mut wstats = RtWorkerStats::default();
     let mut fails: u32 = 0;
     let mut backoff = Backoff::new();
     let mut was_stalled = false;
@@ -673,7 +774,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
             if orphaned > 0 {
                 shared.push_event(FaultKind::OrphanReinjection, Some(p), None, orphaned);
             }
-            return;
+            return wstats;
         }
 
         // Injected stall: freeze inside the window. The deque stays
@@ -688,7 +789,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
                 was_stalled = true;
             }
             if shared.done.load(Ordering::Acquire) {
-                return;
+                return wstats;
             }
             let remaining = until.saturating_sub(shared.base.elapsed());
             std::thread::sleep(remaining.min(Duration::from_micros(200)));
@@ -701,7 +802,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         if let Some(task) = local.pop() {
             fails = 0;
             backoff.reset();
-            execute(p, task, local, shared, rate_ppm);
+            execute(p, task, local, shared, rate_ppm, &mut wstats);
             continue;
         }
 
@@ -712,7 +813,8 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
             Steal::Success(task) => {
                 fails = 0;
                 backoff.reset();
-                execute(p, task, local, shared, rate_ppm);
+                wstats.adopted_orphans += 1;
+                execute(p, task, local, shared, rate_ppm, &mut wstats);
                 continue;
             }
             Steal::Retry => continue,
@@ -723,7 +825,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
             RtPolicy::AdmitFirst => true,
             RtPolicy::StealKFirst { k } => fails >= k,
         };
-        if admit_now && try_admit(local, shared) {
+        if admit_now && try_admit(local, shared, &mut wstats) {
             fails = 0;
             backoff.reset();
             continue;
@@ -732,6 +834,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         // Steal attempt from a random other worker.
         if m > 1 {
             shared.steal_attempts.fetch_add(1, Ordering::Relaxed);
+            wstats.steal_attempts += 1;
             let mut victim = rng.gen_range(0..m - 1);
             if victim >= p {
                 victim += 1;
@@ -743,9 +846,10 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
                 match shared.stealers[victim].steal() {
                     Steal::Success(task) => {
                         shared.successful_steals.fetch_add(1, Ordering::Relaxed);
+                        wstats.successful_steals += 1;
                         fails = 0;
                         backoff.reset();
-                        execute(p, task, local, shared, rate_ppm);
+                        execute(p, task, local, shared, rate_ppm, &mut wstats);
                         continue;
                     }
                     Steal::Empty => {
@@ -766,7 +870,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         // loop above already tried; without this a single worker (m=1) would
         // never admit.
         if let RtPolicy::StealKFirst { k } = policy {
-            if fails >= k && try_admit(local, shared) {
+            if fails >= k && try_admit(local, shared, &mut wstats) {
                 fails = 0;
                 backoff.reset();
                 continue;
@@ -781,6 +885,7 @@ fn worker_loop(p: usize, local: &Deque<Task>, policy: RtPolicy, seed: u64, share
         // full core each during long arrival gaps.
         backoff.pause();
     }
+    wstats
 }
 
 #[cfg(test)]
@@ -1073,6 +1178,53 @@ mod tests {
         let cfg = RuntimeConfig::new(1, RtPolicy::StealKFirst { k: 64 });
         let r = run_workload(&cfg, &burst_workload(2, 2, 500));
         assert!(r.all_completed());
+    }
+
+    #[test]
+    fn worker_stats_partition_aggregates() {
+        let cfg = RuntimeConfig::new(3, RtPolicy::StealKFirst { k: 4 });
+        let r = run_workload(&cfg, &burst_workload(16, 4, 2_000));
+        assert_eq!(r.worker_stats.len(), 3);
+        let sum = |f: fn(&RtWorkerStats) -> u64| r.worker_stats.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|w| w.tasks_executed), r.stats.tasks_executed);
+        assert_eq!(sum(|w| w.steal_attempts), r.stats.steal_attempts);
+        assert_eq!(sum(|w| w.successful_steals), r.stats.successful_steals);
+        assert_eq!(sum(|w| w.admissions), r.stats.admissions);
+        assert_eq!(sum(|w| w.task_panics), r.stats.task_panics);
+    }
+
+    #[test]
+    fn observe_into_reports_latency_and_counters() {
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst);
+        let r = run_workload(&cfg, &burst_workload(6, 2, 2_000));
+        let mut rec = parflow_obs::AggregatingRecorder::new();
+        r.observe_into(&mut rec);
+        assert_eq!(
+            rec.counter_value("rt.tasks_executed", None),
+            r.stats.tasks_executed
+        );
+        let per_worker: u64 = (0..2)
+            .map(|p| rec.counter_value("rt.worker.tasks_executed", Some(p)))
+            .sum();
+        assert_eq!(per_worker, r.stats.tasks_executed);
+        // One latency sample per job, summarized as a histogram.
+        assert_eq!(rec.samples("rt.job_flow_ms").len(), 6);
+        let report = rec.report();
+        assert!(report.histograms.iter().any(|h| h.name == "rt.job_flow_ms"));
+        // Disabled recorder: nothing recorded, nothing perturbed.
+        let mut null = parflow_obs::NullRecorder;
+        r.observe_into(&mut null);
+    }
+
+    #[test]
+    fn flow_histogram_covers_all_jobs() {
+        let cfg = RuntimeConfig::new(2, RtPolicy::AdmitFirst);
+        let r = run_workload(&cfg, &burst_workload(5, 2, 2_000));
+        let h = r.flow_histogram(8).expect("non-empty run");
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.nan(), 0);
+        let empty = run_workload(&cfg, &[]);
+        assert!(empty.flow_histogram(8).is_none());
     }
 
     #[test]

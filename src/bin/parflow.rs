@@ -22,7 +22,7 @@ fn main() {
             eprintln!(
                 "  parflow exec     <workload flags> --policy admit-first|steal-<k>-first \\"
             );
-            eprintln!("                   [--faults SPEC] [--deadline 30s|500ms] [--compress N] [--iters-per-unit N]");
+            eprintln!("                   [--faults SPEC] [--deadline 30s|500ms] [--compress N] [--iters-per-unit N] [--obs-json FILE]");
             eprintln!("  parflow dot      --shape single|chain|diamond|parallel-for|fork-join|map-reduce|pipeline|adversarial [shape flags]");
             std::process::exit(2);
         }

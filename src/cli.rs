@@ -18,7 +18,9 @@
 //! the centralized engines (fifo/bwf/lifo/sjf/equi) model an idealized
 //! reliable machine and ignore the plan. `exec` additionally accepts
 //! `--deadline` (e.g. `30s`, `500ms`) arming the runtime's no-progress
-//! watchdog.
+//! watchdog, and `--obs-json PATH` dumping a machine-readable run report
+//! (counters, per-worker telemetry, latency histograms, phase wall times)
+//! through the `parflow-obs` observability layer.
 
 use crate::bridge::{instance_to_workload, BridgeConfig};
 use crate::core::{
@@ -29,6 +31,7 @@ use crate::runtime::{try_run_workload, RtPolicy, RuntimeConfig, RuntimeError};
 use crate::time::{Rational, Speed};
 use crate::workloads::{trace_io, DistKind, InstanceStats, ShapeKind, WorkloadSpec};
 use parflow_dag::{shapes, Instance};
+use parflow_obs::{JsonRecorder, Recorder};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -454,11 +457,19 @@ fn exec_cmd(flags: &Flags) -> Result<String, CliError> {
     if iters == 0 {
         return Err(CliError::BadFlag("iters-per-unit".into(), "0".into()));
     }
+    let obs_path = flags.get("obs-json").map(str::to_string);
+    let mut rec = obs_path.as_deref().map(JsonRecorder::new);
+    if let Some(r) = rec.as_mut() {
+        r.span_begin("exec.generate");
+    }
     let inst = spec.generate();
     if inst.is_empty() {
         return Err(CliError::BadFlag("jobs".into(), "0".into()));
     }
     let wl = instance_to_workload(&inst, &BridgeConfig::compressed(iters, compress));
+    if let Some(r) = rec.as_mut() {
+        r.span_end("exec.generate");
+    }
     let mut cfg = RuntimeConfig::new(m, policy).with_seed(seed);
     if let Some(s) = flags.get("faults") {
         cfg = cfg.with_faults(parse_faults(s)?);
@@ -466,10 +477,16 @@ fn exec_cmd(flags: &Flags) -> Result<String, CliError> {
     if let Some(s) = flags.get("deadline") {
         cfg = cfg.with_deadline(parse_deadline(s)?);
     }
+    if let Some(r) = rec.as_mut() {
+        r.span_begin("exec.run");
+    }
     let r = try_run_workload(&cfg, &wl).map_err(|e| match e {
         RuntimeError::InvalidFaultPlan(msg) => CliError::BadFlag("faults".into(), msg),
         other => CliError::Io(other.to_string()),
     })?;
+    if let Some(rec) = rec.as_mut() {
+        rec.span_end("exec.run");
+    }
     let count = |s: JobStatus| r.jobs.iter().filter(|j| j.status == s).count();
     let mut out = format!(
         "executed {} jobs on {m} workers in {:.1} ms ({compress}x compressed time)\n",
@@ -502,6 +519,15 @@ fn exec_cmd(flags: &Flags) -> Result<String, CliError> {
         r.stats.orphaned_tasks,
         r.fault_events.len(),
     ));
+    if let Some(rec) = rec.as_mut() {
+        r.observe_into(rec);
+        rec.flush()
+            .map_err(|e| CliError::Io(format!("obs-json: {e}")))?;
+        out.push_str(&format!(
+            "\n(obs json written to {})",
+            obs_path.as_deref().unwrap_or_default()
+        ));
+    }
     Ok(out)
 }
 
@@ -864,6 +890,36 @@ mod tests {
         .unwrap();
         assert!(out.contains("10 completed, 0 failed, 0 aborted"), "{out}");
         assert!(out.contains("max flow"));
+    }
+
+    #[test]
+    fn exec_obs_json_writes_report() {
+        let path = std::env::temp_dir().join("parflow_cli_exec_obs.json");
+        let path_s = path.to_str().unwrap();
+        let out = run_cli(&argv(&format!(
+            "exec --jobs 10 --m 2 --qps 5000 --compress 20000 --iters-per-unit 1 \
+             --obs-json {path_s}"
+        )))
+        .unwrap();
+        assert!(
+            out.contains(&format!("(obs json written to {path_s})")),
+            "{out}"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        // Aggregates, per-worker counters, the latency histogram and both
+        // phase spans must all land in the report.
+        for key in [
+            "\"schema\": 1",
+            "\"rt.tasks_executed\"",
+            "\"rt.worker.tasks_executed[0]\"",
+            "\"rt.worker.tasks_executed[1]\"",
+            "\"rt.job_flow_ms\"",
+            "\"exec.generate\"",
+            "\"exec.run\"",
+        ] {
+            assert!(body.contains(key), "missing {key} in:\n{body}");
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`runtime`] — a real crossbeam-based work-stealing executor with the
 //!   same admission policies, measuring wall-clock flow times;
 //! * [`metrics`] — flow statistics, histograms, tables;
+//! * [`obs`] — the structured observability layer (recorders, events,
+//!   `--obs-json` run reports);
 //! * [`time`] — exact rational time/speed arithmetic.
 //!
 //! ## Quickstart
@@ -41,6 +43,7 @@ pub mod cli;
 pub use parflow_core as core;
 pub use parflow_dag as dag;
 pub use parflow_metrics as metrics;
+pub use parflow_obs as obs;
 pub use parflow_runtime as runtime;
 pub use parflow_time as time;
 pub use parflow_workloads as workloads;
@@ -55,6 +58,7 @@ pub mod prelude {
     };
     pub use parflow_dag::{shapes, DagBuilder, DagCursor, Instance, Job, JobDag};
     pub use parflow_metrics::{lk_norm, max_stretch, FlowStats, Histogram, Table};
+    pub use parflow_obs::{AggregatingRecorder, JsonRecorder, NullRecorder, ObsReport, Recorder};
     pub use parflow_time::{Rational, Speed};
     pub use parflow_workloads::{
         lower_bound_instance, qps_for_utilization, DistKind, ShapeKind, WorkloadSpec,
