@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
 pub mod experiments;
 pub mod report;
 pub mod throughput;

@@ -32,10 +32,18 @@ pub struct EngineThroughput {
     pub rounds_per_sec: f64,
     /// `steal_attempts / wall_seconds` (0 for the centralized engine).
     pub steal_attempts_per_sec: f64,
+    /// Heap allocation events during the run, when the probe binary was
+    /// built with `--features bench-alloc`; absent otherwise.
+    #[serde(default)]
+    pub allocs: Option<u64>,
+    /// `allocs / rounds`, the steady-state allocation pressure. Arena
+    /// recycling should keep this ≈ 0.
+    #[serde(default)]
+    pub allocs_per_round: Option<f64>,
 }
 
 impl EngineThroughput {
-    fn new(rounds: u64, steal_attempts: u64, wall_seconds: f64) -> Self {
+    fn new(rounds: u64, steal_attempts: u64, wall_seconds: f64, allocs: Option<u64>) -> Self {
         let secs = wall_seconds.max(1e-9);
         EngineThroughput {
             rounds,
@@ -43,6 +51,8 @@ impl EngineThroughput {
             wall_seconds,
             rounds_per_sec: rounds as f64 / secs,
             steal_attempts_per_sec: steal_attempts as f64 / secs,
+            allocs,
+            allocs_per_round: allocs.map(|a| a as f64 / rounds.max(1) as f64),
         }
     }
 }
@@ -78,25 +88,32 @@ pub fn measure(seed: u64) -> BenchReport {
     let inst = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, n, seed).generate();
     let cfg = SimConfig::new(m).with_free_steals();
 
+    let a0 = crate::alloc_probe::alloc_count();
     let t = Instant::now();
     let r = simulate_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: PAPER_K }, seed);
-    let ws_steal16 = EngineThroughput::new(
-        r.total_rounds,
-        r.stats.steal_attempts,
-        t.elapsed().as_secs_f64(),
-    );
+    let wall = t.elapsed().as_secs_f64();
+    let allocs = crate::alloc_probe::alloc_count()
+        .zip(a0)
+        .map(|(a, b)| a - b);
+    let ws_steal16 = EngineThroughput::new(r.total_rounds, r.stats.steal_attempts, wall, allocs);
 
+    let a0 = crate::alloc_probe::alloc_count();
     let t = Instant::now();
     let r = simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed);
-    let ws_admit = EngineThroughput::new(
-        r.total_rounds,
-        r.stats.steal_attempts,
-        t.elapsed().as_secs_f64(),
-    );
+    let wall = t.elapsed().as_secs_f64();
+    let allocs = crate::alloc_probe::alloc_count()
+        .zip(a0)
+        .map(|(a, b)| a - b);
+    let ws_admit = EngineThroughput::new(r.total_rounds, r.stats.steal_attempts, wall, allocs);
 
+    let a0 = crate::alloc_probe::alloc_count();
     let t = Instant::now();
     let (r, _) = run_priority(&inst, &SimConfig::new(m), &Fifo);
-    let centralized_fifo = EngineThroughput::new(r.total_rounds, 0, t.elapsed().as_secs_f64());
+    let wall = t.elapsed().as_secs_f64();
+    let allocs = crate::alloc_probe::alloc_count()
+        .zip(a0)
+        .map(|(a, b)| a - b);
+    let centralized_fifo = EngineThroughput::new(r.total_rounds, 0, wall, allocs);
 
     BenchReport {
         schema: 1,
@@ -151,11 +168,22 @@ pub fn runtime_probe_observed(rec: &mut dyn Recorder) {
 /// the genuine dependency.
 pub fn to_json(report: &BenchReport) -> String {
     fn engine(name: &str, e: &EngineThroughput) -> String {
+        let alloc_fields = match (e.allocs, e.allocs_per_round) {
+            (Some(a), Some(apr)) => {
+                format!(",\n    \"allocs\": {a},\n    \"allocs_per_round\": {apr:.4}")
+            }
+            _ => String::new(),
+        };
         format!(
             "  \"{name}\": {{\n    \"rounds\": {},\n    \"steal_attempts\": {},\n    \
              \"wall_seconds\": {:.6},\n    \"rounds_per_sec\": {:.1},\n    \
-             \"steal_attempts_per_sec\": {:.1}\n  }}",
-            e.rounds, e.steal_attempts, e.wall_seconds, e.rounds_per_sec, e.steal_attempts_per_sec
+             \"steal_attempts_per_sec\": {:.1}{}\n  }}",
+            e.rounds,
+            e.steal_attempts,
+            e.wall_seconds,
+            e.rounds_per_sec,
+            e.steal_attempts_per_sec,
+            alloc_fields
         )
     }
     let wall = match report.repro_wall_seconds {
@@ -204,6 +232,14 @@ mod tests {
         // Exactly one rounds_per_sec line per engine, in declaration order
         // (scripts/bench_check reads them positionally).
         assert_eq!(json.matches("\"rounds_per_sec\"").count(), 3);
+        // Alloc fields appear exactly when the probe is compiled in
+        // (bench_check greps them positionally too).
+        if cfg!(feature = "bench-alloc") {
+            assert_eq!(json.matches("\"allocs\":").count(), 3);
+            assert_eq!(json.matches("\"allocs_per_round\":").count(), 3);
+        } else {
+            assert!(!json.contains("\"allocs\""));
+        }
     }
 
     #[test]

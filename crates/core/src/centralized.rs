@@ -13,12 +13,12 @@ use crate::config::SimConfig;
 use crate::fault::JobStatus;
 use crate::result::{EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
-use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, StepOutcome};
+use parflow_dag::{CursorArena, CursorId, Instance, Job, JobId, NodeId, StepOutcome};
 use parflow_obs::{NullRecorder, Recorder};
 use parflow_time::Round;
 
 #[cfg(any(test, feature = "reference-engine"))]
-use parflow_dag::UnitOutcome;
+use parflow_dag::{DagCursor, UnitOutcome};
 
 /// A total priority order over jobs, fixed at arrival.
 ///
@@ -129,7 +129,11 @@ pub fn run_priority_observed<P: JobPriority>(
     let m = config.m;
     let speed = config.speed;
 
-    let mut cursors: Vec<Option<DagCursor>> = vec![None; n];
+    // Per-job cursor state lives in a recycled arena: a slot is allocated
+    // at arrival and released at completion, so the number of slots (and
+    // their buffer capacity) is bounded by peak concurrent jobs, not `n`.
+    let mut arena = CursorArena::new();
+    let mut cursor_ids: Vec<Option<CursorId>> = vec![None; n];
     // Active jobs as (key, id), kept sorted ascending by key.
     let mut active: Vec<((u64, u64, u32), JobId)> = Vec::new();
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
@@ -169,7 +173,7 @@ pub fn run_priority_observed<P: JobPriority>(
             let key = policy.key(job);
             let pos = active.partition_point(|&(k, _)| k < key);
             active.insert(pos, (key, job.id));
-            cursors[job.id as usize] = Some(DagCursor::new(&job.dag));
+            cursor_ids[job.id as usize] = Some(arena.alloc(&job.dag));
             next_arrival += 1;
         }
 
@@ -198,9 +202,7 @@ pub fn run_priority_observed<P: JobPriority>(
             if avail == 0 {
                 break;
             }
-            let cursor = cursors[jid as usize]
-                .as_mut()
-                .expect("active job has cursor");
+            let cursor = arena.get_mut(cursor_ids[jid as usize].expect("active job has cursor"));
             ready_buf.clear();
             ready_buf.extend_from_slice(cursor.ready_nodes());
             // Deterministic choice of the "arbitrary set of ready nodes".
@@ -218,9 +220,8 @@ pub fn run_priority_observed<P: JobPriority>(
         let mut delta: Round = claimed
             .iter()
             .map(|&(jid, v)| {
-                cursors[jid as usize]
-                    .as_ref()
-                    .expect("cursor")
+                arena
+                    .get(cursor_ids[jid as usize].expect("cursor"))
                     .remaining_work(v)
                     .expect("claimed node in range")
             })
@@ -240,7 +241,7 @@ pub fn run_priority_observed<P: JobPriority>(
         for &(jid, v) in &claimed {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
-            let cursor = cursors[jid as usize].as_mut().expect("cursor");
+            let cursor = arena.get_mut(cursor_ids[jid as usize].expect("cursor"));
             ready_scratch.clear();
             match cursor
                 .execute_units(&job.dag, v, delta, &mut ready_scratch)
@@ -251,6 +252,11 @@ pub fn run_priority_observed<P: JobPriority>(
                 }
                 StepOutcome::NodeCompleted { job_completed } => {
                     if job_completed {
+                        // `job_completed` can only fire on the job's last
+                        // claimed node this horizon (is_complete needs all
+                        // nodes done), so no later `claimed` entry touches
+                        // this slot — safe to recycle now.
+                        arena.release(cursor_ids[jid as usize].take().expect("cursor id"));
                         let key = policy.key(job);
                         let pos = active
                             .iter()

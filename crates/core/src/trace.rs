@@ -291,8 +291,8 @@ impl ScheduleTrace {
                 if *units == 0 {
                     let preds = preds_cache.entry(job).or_insert_with(|| {
                         let mut p = vec![Vec::new(); j.dag.num_nodes()];
-                        for (pid, pnode) in j.dag.iter_nodes() {
-                            for &s in &pnode.succs {
+                        for pid in 0..j.dag.num_nodes() as u32 {
+                            for &s in j.dag.succs(pid) {
                                 p[s as usize].push(pid);
                             }
                         }
@@ -312,7 +312,7 @@ impl ScheduleTrace {
                     }
                 }
                 *units += 1;
-                let w = j.dag.node(node).work;
+                let w = j.dag.work(node);
                 if *units > w {
                     return Err(TraceViolation::OverExecution { job, node });
                 }
@@ -325,9 +325,9 @@ impl ScheduleTrace {
 
         // Work conservation: every node of every job fully executed.
         for j in jobs {
-            for (nid, node) in j.dag.iter_nodes() {
+            for nid in 0..j.dag.num_nodes() as u32 {
                 let got = executed.get(&(j.id, nid)).copied().unwrap_or(0);
-                if got != node.work {
+                if got != j.dag.work(nid) {
                     return Err(TraceViolation::IncompleteNode {
                         job: j.id,
                         node: nid,

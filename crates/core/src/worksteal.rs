@@ -34,7 +34,7 @@ use crate::config::{AdmissionOrder, SimConfig, StealAmount, StealCost, VictimStr
 use crate::fault::{FaultEvent, FaultKind, JobStatus, PanicSampler, SlowdownGate, PPM};
 use crate::result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 use crate::trace::{Action, ScheduleTrace};
-use parflow_dag::{DagCursor, Instance, Job, JobId, NodeId, StepOutcome};
+use parflow_dag::{CursorArena, CursorId, Instance, Job, JobId, NodeId, StepOutcome};
 use parflow_obs::{NullRecorder, Recorder};
 use parflow_time::Round;
 use rand::rngs::SmallRng;
@@ -334,15 +334,16 @@ fn admit_job(
     p: usize,
     jobs: &[Job],
     workers: &mut [Worker],
-    cursors: &mut [Option<DagCursor>],
+    arena: &mut CursorArena,
+    cursor_ids: &mut [Option<CursorId>],
     sources: &mut Vec<NodeId>,
 ) {
     let job = &jobs[jid as usize];
-    let cursor = DagCursor::new(&job.dag);
+    let id = arena.alloc(&job.dag);
+    cursor_ids[jid as usize] = Some(id);
+    let cur = arena.get_mut(id);
     sources.clear();
-    sources.extend_from_slice(cursor.ready_nodes());
-    cursors[jid as usize] = Some(cursor);
-    let cur = cursors[jid as usize].as_mut().expect("just set");
+    sources.extend_from_slice(cur.ready_nodes());
     for &s in sources.iter() {
         cur.claim(s).expect("source ready");
         workers[p].deque.push_back((jid, s));
@@ -392,7 +393,11 @@ pub fn run_worksteal_observed(
     let mut rng = SmallRng::seed_from_u64(seed);
 
     let mut workers: Vec<Worker> = (0..m).map(Worker::new).collect();
-    let mut cursors: Vec<Option<DagCursor>> = vec![None; n];
+    // Cursor state lives in a recycled arena (slot allocated at admission,
+    // released at completion/failure): slot count and buffer capacity are
+    // bounded by peak live jobs, so steady state allocates nothing per job.
+    let mut arena = CursorArena::new();
+    let mut cursor_ids: Vec<Option<CursorId>> = vec![None; n];
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
     let mut started: Vec<Option<Round>> = vec![None; n];
     let mut global_queue: VecDeque<JobId> = VecDeque::new();
@@ -635,9 +640,8 @@ pub fn run_worksteal_observed(
             let mut deques_empty = true;
             for w in &workers {
                 if let Some((jid, v)) = w.current {
-                    let rem = cursors[jid as usize]
-                        .as_ref()
-                        .expect("admitted job")
+                    let rem = arena
+                        .get(cursor_ids[jid as usize].expect("admitted job"))
                         .remaining_work(v)
                         .expect("current node in range");
                     if rem < 2 {
@@ -750,7 +754,8 @@ pub fn run_worksteal_observed(
                             continue;
                         };
                         let job = &jobs[jid as usize];
-                        let cursor = cursors[jid as usize].as_mut().expect("admitted job");
+                        let cid = cursor_ids[jid as usize].expect("admitted job");
+                        let cursor = arena.get_mut(cid);
                         stats.work_steps += delta;
                         if obs {
                             wobs[p].work_steps += delta;
@@ -773,6 +778,12 @@ pub fn run_worksteal_observed(
                                     w.pending.push((jid, u));
                                 }
                                 if job_completed {
+                                    // Last live node of the job: no other
+                                    // worker's `current` can reference this
+                                    // slot, safe to recycle.
+                                    arena.release(
+                                        cursor_ids[jid as usize].take().expect("cursor id"),
+                                    );
                                     live_admitted -= 1;
                                     completed += 1;
                                     outcomes[jid as usize] = Some(JobOutcome {
@@ -885,7 +896,8 @@ pub fn run_worksteal_observed(
                                 p,
                                 jobs,
                                 &mut workers,
-                                &mut cursors,
+                                &mut arena,
+                                &mut cursor_ids,
                                 &mut sources_scratch,
                             );
                             started[jid as usize] = Some(round);
@@ -959,7 +971,8 @@ pub fn run_worksteal_observed(
                                     p,
                                     jobs,
                                     &mut workers,
-                                    &mut cursors,
+                                    &mut arena,
+                                    &mut cursor_ids,
                                     &mut sources_scratch,
                                 );
                                 started[jid as usize] = Some(round);
@@ -1069,7 +1082,8 @@ pub fn run_worksteal_observed(
                                         p,
                                         jobs,
                                         &mut workers,
-                                        &mut cursors,
+                                        &mut arena,
+                                        &mut cursor_ids,
                                         &mut sources_scratch,
                                     );
                                     started[jid as usize] = Some(round);
@@ -1099,7 +1113,8 @@ pub fn run_worksteal_observed(
             // 2. Execute one unit of the current node.
             let (jid, v) = workers[p].current.expect("acquired work above");
             let job = &jobs[jid as usize];
-            let cursor = cursors[jid as usize].as_mut().expect("admitted job");
+            let cid = cursor_ids[jid as usize].expect("admitted job");
+            let cursor = arena.get_mut(cid);
             stats.work_steps += 1;
             if obs {
                 wobs[p].work_steps += 1;
@@ -1133,6 +1148,7 @@ pub fn run_worksteal_observed(
                             }
                         }
                         orphans.retain(|t| t.0 != jid);
+                        arena.release(cursor_ids[jid as usize].take().expect("cursor id"));
                         live_admitted -= 1;
                         completed += 1;
                         outcomes[jid as usize] = Some(JobOutcome {
@@ -1152,12 +1168,13 @@ pub fn run_worksteal_observed(
                     }
                     // Claim enabled nodes now (they are exclusively ours)
                     // but defer deque publication to the end of the round.
-                    let cursor = cursors[jid as usize].as_mut().expect("admitted job");
+                    let cursor = arena.get_mut(cid);
                     for &u in ready_scratch.iter() {
                         cursor.claim(u).expect("newly ready claimable");
                         workers[p].pending.push((jid, u));
                     }
                     if job_completed {
+                        arena.release(cursor_ids[jid as usize].take().expect("cursor id"));
                         live_admitted -= 1;
                         completed += 1;
                         outcomes[jid as usize] = Some(JobOutcome {

@@ -1,7 +1,7 @@
 //! Checked construction of [`JobDag`] values.
 
 use crate::error::DagError;
-use crate::graph::{JobDag, Node, NodeId};
+use crate::graph::{JobDag, NodeId};
 use parflow_time::Work;
 
 /// Incrementally assembles a [`JobDag`], validating on [`DagBuilder::build`].
@@ -86,32 +86,47 @@ impl DagBuilder {
             }
         }
         let n = self.works.len();
-        let mut nodes: Vec<Node> = self
-            .works
-            .iter()
-            .map(|&work| Node {
-                work,
-                succs: Vec::new(),
-                pred_count: 0,
-            })
-            .collect();
+        assert!(
+            self.edges.len() <= u32::MAX as usize,
+            "DAG edge count exceeds u32 offset range"
+        );
         let mut edge_set = std::collections::HashSet::with_capacity(self.edges.len());
+        let mut succ_counts = vec![0u32; n];
+        let mut pred_counts = vec![0u32; n];
         for &(from, to) in &self.edges {
             if !edge_set.insert((from, to)) {
                 return Err(DagError::DuplicateEdge { from, to });
             }
-            nodes[from as usize].succs.push(to);
-            nodes[to as usize].pred_count += 1;
+            succ_counts[from as usize] += 1;
+            pred_counts[to as usize] += 1;
+        }
+        // CSR adjacency: prefix-sum the successor counts into offsets, then
+        // scatter edges into the slab. Iterating `edges` in declaration
+        // order keeps each node's successor list in edge-insertion order,
+        // which engine determinism (newly-ready push order) relies on.
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        succ_offsets.push(0u32);
+        for i in 0..n {
+            succ_offsets.push(succ_offsets[i] + succ_counts[i]);
+        }
+        let mut fill: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut succs = vec![0 as NodeId; self.edges.len()];
+        for &(from, to) in &self.edges {
+            let slot = fill[from as usize];
+            succs[slot as usize] = to;
+            fill[from as usize] = slot + 1;
         }
         // Kahn's algorithm: compute a topological order and detect cycles.
-        let mut indeg: Vec<u32> = nodes.iter().map(|nd| nd.pred_count).collect();
+        let mut indeg = pred_counts.clone();
         let mut queue: std::collections::VecDeque<NodeId> = (0..n as NodeId)
             .filter(|&i| indeg[i as usize] == 0)
             .collect();
         let mut topo = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             topo.push(v);
-            for &u in &nodes[v as usize].succs {
+            let lo = succ_offsets[v as usize] as usize;
+            let hi = succ_offsets[v as usize + 1] as usize;
+            for &u in &succs[lo..hi] {
                 indeg[u as usize] -= 1;
                 if indeg[u as usize] == 0 {
                     queue.push_back(u);
@@ -121,7 +136,13 @@ impl DagBuilder {
         if topo.len() != n {
             return Err(DagError::Cycle);
         }
-        Ok(JobDag::from_validated(nodes, topo))
+        Ok(JobDag::from_validated(
+            self.works,
+            pred_counts,
+            succ_offsets,
+            succs,
+            topo,
+        ))
     }
 }
 
@@ -212,9 +233,9 @@ mod tests {
         b.add_edge(m1, t).unwrap();
         b.add_edge(m2, t).unwrap();
         let dag = b.build().unwrap();
-        assert_eq!(dag.node(0).pred_count, 0);
-        assert_eq!(dag.node(3).pred_count, 2);
-        assert_eq!(dag.node(0).succs, vec![1, 2]);
+        assert_eq!(dag.pred_count(0), 0);
+        assert_eq!(dag.pred_count(3), 2);
+        assert_eq!(dag.succs(0), &[1, 2]);
         assert!(dag.validate().is_ok());
     }
 

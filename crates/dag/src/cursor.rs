@@ -64,50 +64,70 @@ pub struct DagCursor {
     unmet_preds: Vec<u32>,
     state: Vec<NodeState>,
     ready: Vec<NodeId>,
-    /// `ready_pos[v]` = index of v in `ready`, or `usize::MAX`.
-    ready_pos: Vec<usize>,
+    /// `ready_pos[v]` = index of v in `ready`, or `u32::MAX`.
+    ready_pos: Vec<u32>,
     completed_nodes: usize,
     executed_units: Work,
 }
 
+const NOT_IN_READY: u32 = u32::MAX;
+
 impl DagCursor {
     /// Start executing `dag` from scratch: sources are ready, all else blocked.
     pub fn new(dag: &JobDag) -> Self {
-        let n = dag.num_nodes();
         let mut cursor = DagCursor {
-            remaining: Vec::with_capacity(n),
-            unmet_preds: Vec::with_capacity(n),
-            state: vec![NodeState::Blocked; n],
+            remaining: Vec::new(),
+            unmet_preds: Vec::new(),
+            state: Vec::new(),
             ready: Vec::new(),
-            ready_pos: vec![usize::MAX; n],
+            ready_pos: Vec::new(),
             completed_nodes: 0,
             executed_units: 0,
         };
-        for (id, node) in dag.iter_nodes() {
-            cursor.remaining.push(node.work);
-            cursor.unmet_preds.push(node.pred_count);
-            if node.pred_count == 0 {
-                cursor.mark_ready(id);
-            }
-        }
+        cursor.reset(dag);
         cursor
+    }
+
+    /// Rewind this cursor onto `dag`, reusing all existing buffer capacity.
+    /// Produces a state observationally identical to `DagCursor::new(dag)` —
+    /// this is what lets [`crate::CursorArena`] recycle slots without
+    /// allocating in steady state.
+    pub fn reset(&mut self, dag: &JobDag) {
+        let n = dag.num_nodes();
+        let (works, pred_counts) = dag.columns();
+        self.remaining.clear();
+        self.remaining.extend_from_slice(works);
+        self.unmet_preds.clear();
+        self.unmet_preds.extend_from_slice(pred_counts);
+        self.state.clear();
+        self.state.resize(n, NodeState::Blocked);
+        self.ready.clear();
+        self.ready_pos.clear();
+        self.ready_pos.resize(n, NOT_IN_READY);
+        self.completed_nodes = 0;
+        self.executed_units = 0;
+        // Sources become ready in increasing id order (matching the
+        // historical iterate-all-nodes construction order).
+        for v in dag.sources_iter() {
+            self.mark_ready(v);
+        }
     }
 
     fn mark_ready(&mut self, v: NodeId) {
         self.state[v as usize] = NodeState::Ready;
-        self.ready_pos[v as usize] = self.ready.len();
+        self.ready_pos[v as usize] = self.ready.len() as u32;
         self.ready.push(v);
     }
 
     fn remove_from_ready(&mut self, v: NodeId) {
-        let pos = self.ready_pos[v as usize];
-        debug_assert!(pos != usize::MAX);
+        let pos = self.ready_pos[v as usize] as usize;
+        debug_assert!(pos != NOT_IN_READY as usize);
         let last = *self.ready.last().expect("ready set empty");
         self.ready.swap_remove(pos);
         if last != v {
-            self.ready_pos[last as usize] = pos;
+            self.ready_pos[last as usize] = pos as u32;
         }
-        self.ready_pos[v as usize] = usize::MAX;
+        self.ready_pos[v as usize] = NOT_IN_READY;
     }
 
     /// The nodes currently ready (deterministic order; not sorted).
@@ -243,7 +263,7 @@ impl DagCursor {
         }
         self.state[v as usize] = NodeState::Completed;
         self.completed_nodes += 1;
-        for &u in &dag.node(v).succs {
+        for &u in dag.succs(v) {
             let c = &mut self.unmet_preds[u as usize];
             debug_assert!(*c > 0);
             *c -= 1;
@@ -417,5 +437,73 @@ mod tests {
         c.claim(0).unwrap();
         c.claim(2).unwrap();
         assert_eq!(c.ready_count(), 0);
+    }
+
+    #[test]
+    fn wide_fanout_ready_set_stays_o1() {
+        // Regression guard for the ready-set bookkeeping under wide fan-out:
+        // a source feeding 10_000 children, all released at once, then
+        // claimed/completed in a scattered order. The position index must
+        // keep every swap_remove O(1) and consistent; if bookkeeping ever
+        // degraded to a scan this test's runtime would blow up and the
+        // consistency asserts below would trip on any indexing slip.
+        const FAN: u32 = 10_000;
+        let mut b = DagBuilder::new();
+        let src = b.add_node(1);
+        let sink_preds: Vec<u32> = (0..FAN).map(|_| b.add_node(1)).collect();
+        for &c in &sink_preds {
+            b.add_edge(src, c).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let mut c = DagCursor::new(&dag);
+        c.claim(src).unwrap();
+        let out = c.execute_unit(&dag, src).unwrap();
+        match out {
+            UnitOutcome::NodeCompleted { newly_ready, .. } => {
+                assert_eq!(newly_ready.len(), FAN as usize);
+                // Successor order == edge-insertion order.
+                assert_eq!(newly_ready, sink_preds);
+            }
+            _ => panic!("source must complete"),
+        }
+        assert_eq!(c.ready_count(), FAN as usize);
+        // Claim from the middle outward so swap_remove churns both ends.
+        for i in 0..FAN {
+            let v = 1 + ((i * 7919) % FAN); // co-prime stride scatters order
+            c.claim(v).unwrap();
+            c.execute_unit(&dag, v).unwrap();
+        }
+        assert!(c.is_complete());
+        assert_eq!(c.ready_count(), 0);
+    }
+
+    #[test]
+    fn reset_matches_fresh_cursor() {
+        let dag = diamond();
+        let mut c = DagCursor::new(&dag);
+        // Make progress, then reset onto a different DAG and back.
+        c.claim(0).unwrap();
+        c.execute_unit(&dag, 0).unwrap();
+        c.claim(1).unwrap();
+        let mut b = DagBuilder::new();
+        b.add_node(4);
+        b.add_node(2);
+        let other = b.build().unwrap();
+        c.reset(&other);
+        assert_eq!(c.ready_nodes(), &[0, 1]);
+        assert_eq!(c.executed_units(), 0);
+        assert_eq!(c.remaining_work(0).unwrap(), 4);
+        c.reset(&dag);
+        let fresh = DagCursor::new(&dag);
+        assert_eq!(c.ready_nodes(), fresh.ready_nodes());
+        assert_eq!(c.executed_units(), fresh.executed_units());
+        assert_eq!(c.completed_nodes(), fresh.completed_nodes());
+        for v in 0..dag.num_nodes() as u32 {
+            assert_eq!(
+                c.remaining_work(v).unwrap(),
+                fresh.remaining_work(v).unwrap()
+            );
+            assert_eq!(c.is_ready(v), fresh.is_ready(v));
+        }
     }
 }

@@ -18,11 +18,11 @@ impl JobDag {
         let _ = writeln!(out, "digraph {name} {{");
         let _ = writeln!(out, "  rankdir=TB;");
         let _ = writeln!(out, "  node [shape=box, fontsize=10];");
-        for (id, node) in self.iter_nodes() {
-            let _ = writeln!(out, "  {id} [label=\"{id} ({}u)\"];", node.work);
+        for id in 0..self.num_nodes() as u32 {
+            let _ = writeln!(out, "  {id} [label=\"{id} ({}u)\"];", self.work(id));
         }
-        for (id, node) in self.iter_nodes() {
-            for &succ in &node.succs {
+        for id in 0..self.num_nodes() as u32 {
+            for &succ in self.succs(id) {
                 let _ = writeln!(out, "  {id} -> {succ};");
             }
         }

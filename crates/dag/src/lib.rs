@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod builder;
 mod cursor;
 mod dot;
@@ -31,6 +32,7 @@ mod graph;
 mod job;
 pub mod shapes;
 
+pub use arena::{CursorArena, CursorId};
 pub use builder::DagBuilder;
 pub use cursor::{DagCursor, StepOutcome, UnitOutcome};
 pub use error::{DagError, ExecError};

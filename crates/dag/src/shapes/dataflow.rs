@@ -87,11 +87,11 @@ mod tests {
         let d = map_reduce(3, 1, 2, 1);
         // Each mapper (nodes 1..=3) has edges to both reducers (4, 5).
         for m in 1..=3u32 {
-            assert_eq!(d.node(m).succs.len(), 2);
+            assert_eq!(d.succs(m).len(), 2);
         }
         // Reducers have pred_count = 3.
-        assert_eq!(d.node(4).pred_count, 3);
-        assert_eq!(d.node(5).pred_count, 3);
+        assert_eq!(d.pred_count(4), 3);
+        assert_eq!(d.pred_count(5), 3);
     }
 
     #[test]

@@ -356,7 +356,12 @@ impl Backoff {
 }
 
 struct Shared {
-    injector: Injector<Arc<JobState>>,
+    /// Per-job state slab, indexed by dense job id. Owning the slab here
+    /// (rather than one `Arc<JobState>` per job) makes tasks plain `Copy`
+    /// indices: no refcount traffic on deque pushes, steals or drops.
+    states: Box<[JobState]>,
+    /// Admission queue of job indices into `states`.
+    injector: Injector<u32>,
     /// Tasks drained from crashed workers' deques, adopted by survivors.
     orphans: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
@@ -442,8 +447,14 @@ pub fn try_run_workload(
     let n = workload.len();
     let deques: Vec<Deque<Task>> = (0..config.workers).map(|_| Deque::new_lifo()).collect();
     let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+    let states: Vec<JobState> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, spec))| JobState::new(i as u32, spec))
+        .collect();
     let base = Instant::now();
     let shared = Arc::new(Shared {
+        states: states.into_boxed_slice(),
         injector: Injector::new(),
         orphans: Injector::new(),
         stealers,
@@ -467,20 +478,13 @@ pub fn try_run_workload(
         events: Mutex::new(Vec::new()),
     });
 
-    let states: Vec<Arc<JobState>> = workload
-        .iter()
-        .enumerate()
-        .map(|(i, &(_, spec))| Arc::new(JobState::new(i as u32, spec)))
-        .collect();
-
     // The submitter releases jobs at their arrival offsets, sleeping in
     // short slices so a watchdog abort interrupts it promptly.
     let submitter = {
         let shared = Arc::clone(&shared);
-        let states = states.clone();
         let offsets: Vec<Duration> = workload.iter().map(|&(d, _)| d).collect();
         std::thread::spawn(move || {
-            for (state, offset) in states.into_iter().zip(offsets) {
+            for (i, offset) in offsets.into_iter().enumerate() {
                 let target = shared.base + offset;
                 loop {
                     if shared.done.load(Ordering::Acquire) {
@@ -494,9 +498,11 @@ pub fn try_run_workload(
                 }
                 // `max(1)` so arrival_ns == 0 still means "never arrived".
                 let ns = shared.base.elapsed().as_nanos() as u64;
-                state.arrival_ns.store(ns.max(1), Ordering::Release);
+                shared.states[i]
+                    .arrival_ns
+                    .store(ns.max(1), Ordering::Release);
                 shared.submitted.fetch_add(1, Ordering::Release);
-                shared.injector.push(state);
+                shared.injector.push(i as u32);
             }
         })
     };
@@ -579,7 +585,8 @@ pub fn try_run_workload(
 
     let end_ns = base.elapsed().as_nanos() as u64;
     let fault_events = std::mem::take(&mut *shared.events.lock());
-    let jobs = states
+    let jobs = shared
+        .states
         .iter()
         .map(|s| {
             let status = s.status();
@@ -628,8 +635,9 @@ fn execute(
     rate_ppm: u32,
     wstats: &mut RtWorkerStats,
 ) {
+    let job = &shared.states[task.job as usize];
     // Tasks of an already-failed job are dropped, not executed.
-    if task.job.is_failed() {
+    if job.is_failed() {
         return;
     }
     match task.kind {
@@ -644,13 +652,12 @@ fn execute(
             };
             for _ in 0..2 {
                 local.push(Task {
-                    job: Arc::clone(&task.job),
+                    job: task.job,
                     kind: child_kind,
                 });
             }
         }
         TaskKind::Chunk => {
-            let job = &task.job;
             let seq = job.next_seq();
             let injected =
                 job.shape == JobShape::Poison || shared.sampler.should_panic(job.id, seq as u32);
@@ -696,14 +703,15 @@ fn execute(
 fn try_admit(local: &Deque<Task>, shared: &Shared, wstats: &mut RtWorkerStats) -> bool {
     loop {
         match shared.injector.steal() {
-            Steal::Success(job) => {
+            Steal::Success(ji) => {
                 shared.admissions.fetch_add(1, Ordering::Relaxed);
                 wstats.admissions += 1;
+                let job = &shared.states[ji as usize];
                 match job.shape {
                     JobShape::Flat | JobShape::Poison => {
                         for _ in 0..job.chunks {
                             local.push(Task {
-                                job: Arc::clone(&job),
+                                job: ji,
                                 kind: TaskKind::Chunk,
                             });
                         }
@@ -714,10 +722,7 @@ fn try_admit(local: &Deque<Task>, shared: &Shared, wstats: &mut RtWorkerStats) -
                         } else {
                             TaskKind::Spawn { depth }
                         };
-                        local.push(Task {
-                            job: Arc::clone(&job),
-                            kind,
-                        });
+                        local.push(Task { job: ji, kind });
                     }
                 }
                 return true;

@@ -8,7 +8,6 @@
 
 use parflow_core::JobStatus;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// How a job's work is structured.
@@ -193,10 +192,15 @@ impl JobState {
 }
 
 /// A unit of schedulable work.
-#[derive(Clone, Debug)]
+///
+/// Tasks carry only the owning job's dense index; workers resolve it
+/// against the executor's shared `JobState` slab. Keeping the task `Copy`
+/// (12 bytes, no `Arc`) removes per-task refcount traffic from every
+/// deque push, steal and drop on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Task {
-    /// Owning job.
-    pub job: Arc<JobState>,
+    /// Owning job's dense index into the run's job-state slab.
+    pub job: u32,
     /// What this task does.
     pub kind: TaskKind,
 }
