@@ -13,6 +13,12 @@
 //! enough that throughput numbers from a `bench-alloc` build stay within
 //! normal run-to-run noise of an unshimmed build.
 
+// This is the only module in the workspace allowed to contain `unsafe`
+// (every other crate is `#![forbid(unsafe_code)]`); inside it, every
+// unsafe operation must sit in an explicit `unsafe {}` block with its own
+// SAFETY justification — an `unsafe fn` signature alone is not enough.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 #[cfg(feature = "bench-alloc")]
 mod imp {
     use std::alloc::{GlobalAlloc, Layout, System};
@@ -23,20 +29,28 @@ mod imp {
     struct CountingAlloc;
 
     // SAFETY: defers every operation to `System`, which upholds the
-    // GlobalAlloc contract; the counter side effect does not allocate.
+    // GlobalAlloc contract; the counter side effect does not allocate
+    // (a relaxed atomic increment), so no reentrancy into the allocator.
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-            System.alloc(layout)
+            // SAFETY: `layout` is forwarded unchanged from our caller, who
+            // guarantees it is non-zero-sized per the GlobalAlloc contract.
+            unsafe { System.alloc(layout) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-            System.dealloc(ptr, layout)
+            // SAFETY: `ptr`/`layout` are forwarded unchanged; our caller
+            // guarantees `ptr` came from this allocator with this layout,
+            // and every path of ours returns `System`-owned blocks.
+            unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-            System.realloc(ptr, layout, new_size)
+            // SAFETY: arguments forwarded unchanged under the same caller
+            // contract; the block being resized is `System`-owned.
+            unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
 

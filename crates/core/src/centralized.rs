@@ -202,13 +202,13 @@ pub fn run_priority_observed<P: JobPriority>(
             if avail == 0 {
                 break;
             }
-            let cursor = arena.get_mut(cursor_ids[jid as usize].expect("active job has cursor"));
+            let cursor = arena.get_mut(cursor_ids[jid as usize].expect("active job has cursor")); // lint: allow(panicking) invariant: every active job owns an arena cursor until completion
             ready_buf.clear();
             ready_buf.extend_from_slice(cursor.ready_nodes());
             // Deterministic choice of the "arbitrary set of ready nodes".
             ready_buf.sort_unstable();
             for &v in ready_buf.iter().take(avail) {
-                cursor.claim(v).expect("ready node claimable");
+                cursor.claim(v).expect("ready node claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
                 claimed.push((jid, v));
             }
             avail -= ready_buf.len().min(avail);
@@ -221,12 +221,12 @@ pub fn run_priority_observed<P: JobPriority>(
             .iter()
             .map(|&(jid, v)| {
                 arena
-                    .get(cursor_ids[jid as usize].expect("cursor"))
+                    .get(cursor_ids[jid as usize].expect("cursor")) // lint: allow(panicking) invariant: active jobs always own a cursor
                     .remaining_work(v)
-                    .expect("claimed node in range")
+                    .expect("claimed node in range") // lint: allow(panicking) invariant: claimed nodes index this job DAG
             })
             .min()
-            .expect("claimed non-empty");
+            .expect("claimed non-empty"); // lint: allow(panicking) claim set verified non-empty above
         if next_arrival < n {
             // ≥ 1: everything due by `round` was activated above.
             delta = delta.min(speed.first_round_at_or_after(jobs[next_arrival].arrival) - round);
@@ -241,14 +241,14 @@ pub fn run_priority_observed<P: JobPriority>(
         for &(jid, v) in &claimed {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
-            let cursor = arena.get_mut(cursor_ids[jid as usize].expect("cursor"));
+            let cursor = arena.get_mut(cursor_ids[jid as usize].expect("cursor")); // lint: allow(panicking) invariant: active jobs always own a cursor
             ready_scratch.clear();
             match cursor
                 .execute_units(&job.dag, v, delta, &mut ready_scratch)
-                .expect("claimed node executes")
+                .expect("claimed node executes") // lint: allow(panicking) invariant: execute targets were claimed this round
             {
                 StepOutcome::InProgress => {
-                    cursor.release(v).expect("in-progress node releases");
+                    cursor.release(v).expect("in-progress node releases"); // lint: allow(panicking) invariant: release follows the successful claim above
                 }
                 StepOutcome::NodeCompleted { job_completed } => {
                     if job_completed {
@@ -256,18 +256,18 @@ pub fn run_priority_observed<P: JobPriority>(
                         // claimed node this horizon (is_complete needs all
                         // nodes done), so no later `claimed` entry touches
                         // this slot — safe to recycle now.
-                        arena.release(cursor_ids[jid as usize].take().expect("cursor id"));
+                        arena.release(cursor_ids[jid as usize].take().expect("cursor id")); // lint: allow(panicking) invariant: completion releases exactly the cursor admission installed
                         let key = policy.key(job);
                         let pos = active
                             .iter()
                             .position(|&(k, j)| k == key && j == jid)
-                            .expect("completed job was active");
+                            .expect("completed job was active"); // lint: allow(panicking) invariant: a completing job sits in the active list exactly once
                         active.remove(pos);
                         outcomes[jid as usize] = Some(JobOutcome {
                             job: jid,
                             arrival: job.arrival,
                             weight: job.weight,
-                            start_round: started[jid as usize].expect("job executed"),
+                            start_round: started[jid as usize].expect("job executed"), // lint: allow(panicking) invariant: start_round is recorded before any execution
                             completion_round: last,
                             completion: speed.round_end(last),
                             flow: speed.flow_time(job.arrival, last),
@@ -303,7 +303,7 @@ pub fn run_priority_observed<P: JobPriority>(
 
     let outcomes: Vec<JobOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("all jobs completed"))
+        .map(|o| o.expect("all jobs completed")) // lint: allow(panicking) invariant: the engine loop exits only after every job completes
         .collect();
     if obs {
         rec.counter("central.work_steps", stats.work_steps);
@@ -397,12 +397,12 @@ pub fn run_priority_reference<P: JobPriority>(
             }
             let cursor = cursors[jid as usize]
                 .as_mut()
-                .expect("active job has cursor");
+                .expect("active job has cursor"); // lint: allow(panicking) invariant: every active job owns an arena cursor until completion
             ready_buf.clear();
             ready_buf.extend_from_slice(cursor.ready_nodes());
             ready_buf.sort_unstable();
             for &v in ready_buf.iter().take(avail) {
-                cursor.claim(v).expect("ready node claimable");
+                cursor.claim(v).expect("ready node claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
                 claimed.push((jid, v));
             }
             avail -= ready_buf.len().min(avail);
@@ -412,13 +412,13 @@ pub fn run_priority_reference<P: JobPriority>(
         for &(jid, v) in &claimed {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
-            let cursor = cursors[jid as usize].as_mut().expect("cursor");
+            let cursor = cursors[jid as usize].as_mut().expect("cursor"); // lint: allow(panicking) invariant: active jobs always own a cursor
             match cursor
                 .execute_unit(&job.dag, v)
-                .expect("claimed node executes")
+                .expect("claimed node executes") // lint: allow(panicking) invariant: execute targets were claimed this round
             {
                 UnitOutcome::InProgress => {
-                    cursor.release(v).expect("in-progress node releases");
+                    cursor.release(v).expect("in-progress node releases"); // lint: allow(panicking) invariant: release follows the successful claim above
                 }
                 UnitOutcome::NodeCompleted { job_completed, .. } => {
                     if job_completed {
@@ -426,13 +426,13 @@ pub fn run_priority_reference<P: JobPriority>(
                         let pos = active
                             .iter()
                             .position(|&(k, j)| k == key && j == jid)
-                            .expect("completed job was active");
+                            .expect("completed job was active"); // lint: allow(panicking) invariant: a completing job sits in the active list exactly once
                         active.remove(pos);
                         outcomes[jid as usize] = Some(JobOutcome {
                             job: jid,
                             arrival: job.arrival,
                             weight: job.weight,
-                            start_round: started[jid as usize].expect("job executed"),
+                            start_round: started[jid as usize].expect("job executed"), // lint: allow(panicking) invariant: start_round is recorded before any execution
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
@@ -462,7 +462,7 @@ pub fn run_priority_reference<P: JobPriority>(
 
     let outcomes: Vec<JobOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("all jobs completed"))
+        .map(|o| o.expect("all jobs completed")) // lint: allow(panicking) invariant: the engine loop exits only after every job completes
         .collect();
     let result = SimResult {
         m,

@@ -81,13 +81,13 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
             // Positions rot, rot+1, …, rot+extra−1 (mod n_act) get +1.
             let bonus = ((i + n_act - rot) % n_act < extra) as usize;
             let quota = base + bonus;
-            let cursor = cursors[jid as usize].as_mut().expect("active job");
+            let cursor = cursors[jid as usize].as_mut().expect("active job"); // lint: allow(panicking) invariant: every active job owns a cursor until completion
             ready_buf.clear();
             ready_buf.extend_from_slice(cursor.ready_nodes());
             ready_buf.sort_unstable();
             let take = ready_buf.len().min(quota);
             for &v in ready_buf.iter().take(take) {
-                cursor.claim(v).expect("ready node claimable");
+                cursor.claim(v).expect("ready node claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
                 claimed.push((jid, v));
             }
             spare += quota - take;
@@ -99,13 +99,13 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
                 if spare == 0 {
                     break;
                 }
-                let cursor = cursors[jid as usize].as_mut().expect("active job");
+                let cursor = cursors[jid as usize].as_mut().expect("active job"); // lint: allow(panicking) invariant: every active job owns a cursor until completion
                 ready_buf.clear();
                 ready_buf.extend_from_slice(cursor.ready_nodes());
                 ready_buf.sort_unstable();
                 let take = ready_buf.len().min(spare);
                 for &v in ready_buf.iter().take(take) {
-                    cursor.claim(v).expect("ready node claimable");
+                    cursor.claim(v).expect("ready node claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
                     claimed.push((jid, v));
                 }
                 spare -= take;
@@ -116,23 +116,25 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
         for &(jid, v) in &claimed {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
+            // lint: allow(panicking) invariant: active jobs always own a cursor
             let cursor = cursors[jid as usize].as_mut().expect("cursor");
+            // lint: allow(panicking) invariant: execute targets were claimed this round
             match cursor.execute_unit(&job.dag, v).expect("claimed node") {
                 UnitOutcome::InProgress => {
-                    cursor.release(v).expect("in-progress node releases");
+                    cursor.release(v).expect("in-progress node releases"); // lint: allow(panicking) invariant: release follows the successful claim above
                 }
                 UnitOutcome::NodeCompleted { job_completed, .. } => {
                     if job_completed {
                         let pos = active
                             .iter()
                             .position(|&j| j == jid)
-                            .expect("completed job was active");
+                            .expect("completed job was active"); // lint: allow(panicking) invariant: a completing job sits in the active list exactly once
                         active.remove(pos);
                         outcomes[jid as usize] = Some(JobOutcome {
                             job: jid,
                             arrival: job.arrival,
                             weight: job.weight,
-                            start_round: started[jid as usize].expect("job executed"),
+                            start_round: started[jid as usize].expect("job executed"), // lint: allow(panicking) invariant: start_round is recorded before any execution
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
@@ -160,7 +162,7 @@ pub fn run_equi(instance: &Instance, config: &SimConfig) -> (SimResult, Option<S
 
     let outcomes: Vec<JobOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("all jobs completed"))
+        .map(|o| o.expect("all jobs completed")) // lint: allow(panicking) invariant: the engine loop exits only after every job completes
         .collect();
     (
         SimResult {

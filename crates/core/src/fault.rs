@@ -229,7 +229,7 @@ impl FaultPlan {
                 self.panic_ppm, PPM
             ));
         }
-        let crashed: std::collections::HashSet<usize> =
+        let crashed: std::collections::BTreeSet<usize> =
             self.crashes.iter().map(|c| c.worker).collect();
         if !self.crashes.is_empty() && crashed.len() >= m {
             return Err(format!(
@@ -357,12 +357,27 @@ impl PanicSampler {
 
     /// True if the task `(job, node)` should fail.
     pub fn should_panic(&self, job: u32, node: u32) -> bool {
+        self.should_panic_seq(job, node as u64)
+    }
+
+    /// True if chunk `seq` of `job` should fail, keeping the sequence
+    /// number's full 64-bit width.
+    ///
+    /// The runtime executor keys the sampler by a monotone per-job chunk
+    /// counter; truncating it to `u32` (as an `as u32` cast at the call
+    /// site used to) silently recycles panic decisions past 2³² chunks —
+    /// the same defect family as the PR 3 `failed_steals` saturation bug.
+    /// For `seq < 2³²` the stream is bit-identical to
+    /// [`PanicSampler::should_panic`] (`job` occupies the high 32 bits,
+    /// so XOR and OR agree while the halves are disjoint); beyond, the
+    /// high bits mix instead of vanishing.
+    pub fn should_panic_seq(&self, job: u32, seq: u64) -> bool {
         if self.ppm == 0 {
             return false;
         }
         let mut z = self
             .seed
-            .wrapping_add((job as u64) << 32 | node as u64)
+            .wrapping_add(((job as u64) << 32) ^ seq)
             .wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -476,6 +491,29 @@ mod tests {
         // Zero probability never fires even with a seed.
         let z = PanicSampler::new(42, 0);
         assert!((0..1000u32).all(|n| !z.should_panic(0, n)));
+    }
+
+    #[test]
+    fn panic_sampler_seq_keeps_full_width() {
+        // Regression for the truncating `seq as u32` call site in the
+        // runtime executor (the failed_steals u32-saturation family):
+        // below 2^32 the wide key reproduces the narrow stream exactly...
+        let s = PanicSampler::new(42, 100_000);
+        for job in [0u32, 1, 7] {
+            for seq in (0..2000u64).chain([u32::MAX as u64 - 1, u32::MAX as u64]) {
+                assert_eq!(
+                    s.should_panic_seq(job, seq),
+                    s.should_panic(job, seq as u32),
+                    "job {job} seq {seq}"
+                );
+            }
+        }
+        // ...while past 2^32 the high bits must matter: a truncating key
+        // would recycle the sub-2^32 decisions verbatim.
+        let wrapped = (0..4096u64)
+            .filter(|&k| s.should_panic_seq(0, (1u64 << 32) + k) != s.should_panic(0, k as u32))
+            .count();
+        assert!(wrapped > 0, "seq high bits were discarded");
     }
 
     #[test]

@@ -54,10 +54,10 @@ impl RoundActivity {
             let w = row.map_or(0, |r| {
                 r.iter()
                     .filter(|a| matches!(a, Action::Work { .. }))
-                    .count() as u32
+                    .count() as u32 // lint: allow(truncating-cast) bounded by the row width m; 2^32 processors unrepresentable
             });
             work.push(w);
-            idling.push(m as u32 - w);
+            idling.push(m as u32 - w); // lint: allow(truncating-cast) m is the processor count; 2^32 processors unrepresentable
         }
         let mut prefix_idling = Vec::with_capacity(work.len() + 1);
         let mut prefix_nonfull = Vec::with_capacity(work.len() + 1);
@@ -65,7 +65,7 @@ impl RoundActivity {
         prefix_nonfull.push(0);
         for (i, &w) in work.iter().enumerate() {
             prefix_idling.push(prefix_idling[i] + idling[i] as u64);
-            prefix_nonfull.push(prefix_nonfull[i] + u64::from(w < m as u32));
+            prefix_nonfull.push(prefix_nonfull[i] + u64::from(w < m as u32)); // lint: allow(truncating-cast) m is the processor count; 2^32 processors unrepresentable
         }
         RoundActivity {
             work,

@@ -67,6 +67,7 @@
 //! assert!(ws.max_flow() >= opt);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod centralized;

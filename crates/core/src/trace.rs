@@ -14,7 +14,7 @@
 use parflow_dag::{Instance, JobId, NodeId};
 use parflow_time::{Round, Speed};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// What one processor did during one round.
@@ -240,12 +240,16 @@ impl ScheduleTrace {
     ///    last predecessor finished (units occupy whole rounds);
     /// 5. every node receives exactly `work` units over the trace.
     pub fn validate(&self, instance: &Instance) -> Result<(), TraceViolation> {
-        // executed units and completion round per (job, node)
-        let mut executed: HashMap<(JobId, NodeId), u64> = HashMap::new();
-        let mut completed_in: HashMap<(JobId, NodeId), Round> = HashMap::new();
+        // Executed units and completion round per (job, node). Ordered
+        // maps, so any future iteration over validator state is
+        // deterministic by construction, not by accident — the validator
+        // sits on the golden path (property tests run every scheduler
+        // through it) and must never become an ordering side channel.
+        let mut executed: BTreeMap<(JobId, NodeId), u64> = BTreeMap::new();
+        let mut completed_in: BTreeMap<(JobId, NodeId), Round> = BTreeMap::new();
         let jobs = instance.jobs();
         // Precompute predecessor lists per job (lazily, shared across rounds).
-        let mut preds_cache: HashMap<JobId, Vec<Vec<NodeId>>> = HashMap::new();
+        let mut preds_cache: BTreeMap<JobId, Vec<Vec<NodeId>>> = BTreeMap::new();
 
         let mut r: Round = 0;
         for span in &self.spans {
@@ -291,6 +295,7 @@ impl ScheduleTrace {
                 if *units == 0 {
                     let preds = preds_cache.entry(job).or_insert_with(|| {
                         let mut p = vec![Vec::new(); j.dag.num_nodes()];
+                        // lint: allow(truncating-cast) NodeId is u32; JobDag construction caps node count at u32 range
                         for pid in 0..j.dag.num_nodes() as u32 {
                             for &s in j.dag.succs(pid) {
                                 p[s as usize].push(pid);
@@ -325,6 +330,7 @@ impl ScheduleTrace {
 
         // Work conservation: every node of every job fully executed.
         for j in jobs {
+            // lint: allow(truncating-cast) NodeId is u32; JobDag construction caps node count at u32 range
             for nid in 0..j.dag.num_nodes() as u32 {
                 let got = executed.get(&(j.id, nid)).copied().unwrap_or(0);
                 if got != j.dag.work(nid) {

@@ -178,7 +178,7 @@ fn steal_into(
             // task became `current`). ceil(len_before/2) − 1 extra tasks.
             let extra = (workers[victim].deque.len() + 1).div_ceil(2) - 1;
             for _ in 0..extra {
-                let t = workers[victim].deque.pop_front().expect("len checked");
+                let t = workers[victim].deque.pop_front().expect("len checked"); // lint: allow(panicking) emptiness checked immediately above; pop cannot fail
                 workers[p].deque.push_back(t);
             }
         }
@@ -345,10 +345,10 @@ fn admit_job(
     sources.clear();
     sources.extend_from_slice(cur.ready_nodes());
     for &s in sources.iter() {
-        cur.claim(s).expect("source ready");
+        cur.claim(s).expect("source ready"); // lint: allow(panicking) invariant: freshly materialized source nodes are unclaimed
         workers[p].deque.push_back((jid, s));
     }
-    let task = workers[p].deque.pop_back().expect("pushed sources");
+    let task = workers[p].deque.pop_back().expect("pushed sources"); // lint: allow(panicking) a source task was pushed just above; the deque is non-empty
     workers[p].current = Some(task);
     workers[p].failed_steals = 0;
 }
@@ -388,7 +388,7 @@ pub fn run_worksteal_observed(
     let k = policy.k();
     let faults = &config.faults;
     if let Err(e) = faults.validate(m) {
-        panic!("invalid fault plan: {e}");
+        panic!("invalid fault plan: {e}"); // lint: allow(panicking) documented contract: simulator entry points panic on invalid fault plans, validated before any stepping
     }
     let mut rng = SmallRng::seed_from_u64(seed);
 
@@ -641,9 +641,9 @@ pub fn run_worksteal_observed(
             for w in &workers {
                 if let Some((jid, v)) = w.current {
                     let rem = arena
-                        .get(cursor_ids[jid as usize].expect("admitted job"))
+                        .get(cursor_ids[jid as usize].expect("admitted job")) // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
                         .remaining_work(v)
-                        .expect("current node in range");
+                        .expect("current node in range"); // lint: allow(panicking) invariant: cursors only hold nodes of their own DAG
                     if rem < 2 {
                         // The span is capped at 1 round — the per-round
                         // loop handles that more cheaply than span setup.
@@ -754,7 +754,7 @@ pub fn run_worksteal_observed(
                             continue;
                         };
                         let job = &jobs[jid as usize];
-                        let cid = cursor_ids[jid as usize].expect("admitted job");
+                        let cid = cursor_ids[jid as usize].expect("admitted job"); // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
                         let cursor = arena.get_mut(cid);
                         stats.work_steps += delta;
                         if obs {
@@ -764,7 +764,7 @@ pub fn run_worksteal_observed(
                         ready_scratch.clear();
                         match cursor
                             .execute_units(&job.dag, v, delta, &mut ready_scratch)
-                            .expect("current node claimed")
+                            .expect("current node claimed") // lint: allow(panicking) invariant: executed nodes were claimed by this cursor
                         {
                             StepOutcome::InProgress => {}
                             StepOutcome::NodeCompleted { job_completed } => {
@@ -774,7 +774,7 @@ pub fn run_worksteal_observed(
                                     "no injected panics under an empty fault plan"
                                 );
                                 for &u in ready_scratch.iter() {
-                                    cursor.claim(u).expect("newly ready claimable");
+                                    cursor.claim(u).expect("newly ready claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
                                     w.pending.push((jid, u));
                                 }
                                 if job_completed {
@@ -782,7 +782,7 @@ pub fn run_worksteal_observed(
                                     // worker's `current` can reference this
                                     // slot, safe to recycle.
                                     arena.release(
-                                        cursor_ids[jid as usize].take().expect("cursor id"),
+                                        cursor_ids[jid as usize].take().expect("cursor id"), // lint: allow(panicking) invariant: completion releases exactly the cursor admission installed
                                     );
                                     live_admitted -= 1;
                                     completed += 1;
@@ -790,7 +790,7 @@ pub fn run_worksteal_observed(
                                         job: jid,
                                         arrival: job.arrival,
                                         weight: job.weight,
-                                        start_round: started[jid as usize].expect("job admitted"),
+                                        start_round: started[jid as usize].expect("job admitted"), // lint: allow(panicking) invariant: start_round is recorded at admission, before execution
                                         completion_round: last,
                                         completion: speed.round_end(last),
                                         flow: speed.flow_time(job.arrival, last),
@@ -890,7 +890,7 @@ pub fn run_worksteal_observed(
                         };
                         if admit_now {
                             let jid = pop_admission(&mut global_queue, jobs, config.admission)
-                                .expect("queue non-empty");
+                                .expect("queue non-empty"); // lint: allow(panicking) emptiness checked immediately above
                             admit_job(
                                 jid,
                                 p,
@@ -984,7 +984,7 @@ pub fn run_worksteal_observed(
                                 stealable_cache = None;
                             } else {
                                 // Scan for stealable work.
-                                let attempts = 2 * m.max(1) as u32;
+                                let attempts = 2 * m.max(1) as u32; // lint: allow(truncating-cast) m is the processor count; a 2^32-processor instance is unrepresentable
                                 let stealable = match stealable_cache {
                                     Some(v) => v,
                                     None => {
@@ -1111,9 +1111,9 @@ pub fn run_worksteal_observed(
             }
 
             // 2. Execute one unit of the current node.
-            let (jid, v) = workers[p].current.expect("acquired work above");
+            let (jid, v) = workers[p].current.expect("acquired work above"); // lint: allow(panicking) set on the acquisition path immediately above
             let job = &jobs[jid as usize];
-            let cid = cursor_ids[jid as usize].expect("admitted job");
+            let cid = cursor_ids[jid as usize].expect("admitted job"); // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
             let cursor = arena.get_mut(cid);
             stats.work_steps += 1;
             if obs {
@@ -1123,7 +1123,7 @@ pub fn run_worksteal_observed(
             ready_scratch.clear();
             match cursor
                 .execute_unit_into(&job.dag, v, &mut ready_scratch)
-                .expect("current node claimed")
+                .expect("current node claimed") // lint: allow(panicking) invariant: executed nodes were claimed by this cursor
             {
                 StepOutcome::InProgress => {}
                 StepOutcome::NodeCompleted { job_completed } => {
@@ -1148,14 +1148,14 @@ pub fn run_worksteal_observed(
                             }
                         }
                         orphans.retain(|t| t.0 != jid);
-                        arena.release(cursor_ids[jid as usize].take().expect("cursor id"));
+                        arena.release(cursor_ids[jid as usize].take().expect("cursor id")); // lint: allow(panicking) invariant: completion releases exactly the cursor admission installed
                         live_admitted -= 1;
                         completed += 1;
                         outcomes[jid as usize] = Some(JobOutcome {
                             job: jid,
                             arrival: job.arrival,
                             weight: job.weight,
-                            start_round: started[jid as usize].expect("job admitted"),
+                            start_round: started[jid as usize].expect("job admitted"), // lint: allow(panicking) invariant: start_round is recorded at admission, before execution
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
@@ -1170,18 +1170,18 @@ pub fn run_worksteal_observed(
                     // but defer deque publication to the end of the round.
                     let cursor = arena.get_mut(cid);
                     for &u in ready_scratch.iter() {
-                        cursor.claim(u).expect("newly ready claimable");
+                        cursor.claim(u).expect("newly ready claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
                         workers[p].pending.push((jid, u));
                     }
                     if job_completed {
-                        arena.release(cursor_ids[jid as usize].take().expect("cursor id"));
+                        arena.release(cursor_ids[jid as usize].take().expect("cursor id")); // lint: allow(panicking) invariant: completion releases exactly the cursor admission installed
                         live_admitted -= 1;
                         completed += 1;
                         outcomes[jid as usize] = Some(JobOutcome {
                             job: jid,
                             arrival: job.arrival,
                             weight: job.weight,
-                            start_round: started[jid as usize].expect("job admitted"),
+                            start_round: started[jid as usize].expect("job admitted"), // lint: allow(panicking) invariant: start_round is recorded at admission, before execution
                             completion_round: round,
                             completion: speed.round_end(round),
                             flow: speed.flow_time(job.arrival, round),
@@ -1211,7 +1211,7 @@ pub fn run_worksteal_observed(
 
     let outcomes: Vec<JobOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("all jobs completed"))
+        .map(|o| o.expect("all jobs completed")) // lint: allow(panicking) invariant: the engine loop exits only after every job completes
         .collect();
     if obs {
         for (p, o) in wobs.iter().enumerate() {

@@ -90,7 +90,7 @@ impl DagBuilder {
             self.edges.len() <= u32::MAX as usize,
             "DAG edge count exceeds u32 offset range"
         );
-        let mut edge_set = std::collections::HashSet::with_capacity(self.edges.len());
+        let mut edge_set = std::collections::BTreeSet::new();
         let mut succ_counts = vec![0u32; n];
         let mut pred_counts = vec![0u32; n];
         for &(from, to) in &self.edges {

@@ -278,7 +278,7 @@ impl JobDag {
             self.succs.len()
         );
         let mut pred_counts = vec![0u32; n as usize];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..n {
             if self.works[i as usize] == 0 {
                 return Err(DagError::ZeroWork { node: i });

@@ -21,6 +21,7 @@
 //! experiments and proofs (parallel-for server requests, fork-join
 //! divide-and-conquer, the Section 5 adversarial gadget, random layered DAGs).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;

@@ -1,0 +1,96 @@
+//! # parflow-lint
+//!
+//! Project-specific static analysis for the parflow workspace. Four rules
+//! protect the invariants every golden, differential and RNG-stream claim
+//! in this repo rests on:
+//!
+//! * **L1 `nondeterminism`** — no wall clocks, OS entropy, or hash-order
+//!   containers in engine/golden paths;
+//! * **L2 `truncating-cast`** — no silently-truncating `as` casts on
+//!   counter/accumulator widths (the PR 3 `failed_steals` u32-saturation
+//!   family);
+//! * **L3 `panicking`** — no `unwrap`/`expect`/panicking percentile calls
+//!   in engine hot paths and worker loops;
+//! * **L4 `rng`** — only declared files may construct or advance a seeded
+//!   RNG stream.
+//!
+//! Scope and file-level exemptions live in the workspace-root `lint.toml`;
+//! individual sites are excused with `// lint: allow(<rule>) <reason>`.
+//! The linter is dependency-free (hand-rolled lexer and TOML-subset
+//! reader) because the workspace builds in network-isolated containers
+//! where `syn`/`toml` are unavailable; the lexical pass is conservative
+//! and never requires type information. See `docs/STATIC_ANALYSIS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError, RuleCfg};
+pub use rules::{Diagnostic, RULES};
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Lint one in-memory file (used by the fixture self-tests).
+pub fn lint_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let scr = lexer::scrub(source);
+    rules::lint_file(rel_path, source, &scr, cfg)
+}
+
+/// Walk the workspace under `root` and lint every `.rs` file any rule
+/// scopes. Diagnostics come back sorted by (file, line, rule) — the
+/// linter's own output order is deterministic by construction.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    // Union of every rule's scope, deduplicated and ordered.
+    let mut files: BTreeSet<String> = BTreeSet::new();
+    for rule in cfg.rules.values() {
+        for p in &rule.paths {
+            let abs = root.join(p);
+            if abs.is_file() {
+                files.insert(p.clone());
+            } else if abs.is_dir() {
+                collect_rs(&abs, root, &mut files)?;
+            }
+            // Nonexistent scope entries are tolerated: scopes describe
+            // intent and files move between PRs.
+        }
+    }
+    let mut out = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        out.extend(lint_source(rel, &source, cfg));
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut BTreeSet<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.insert(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// a `lint.toml`.
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,88 @@
+//! `parflow-lint` — run the workspace lint and exit nonzero on findings.
+//!
+//! ```text
+//! parflow-lint [--root DIR] [--config FILE] [--quiet]
+//! ```
+//!
+//! With no flags the workspace root is the nearest ancestor directory
+//! containing `lint.toml`. Every diagnostic prints as
+//! `path:line: [rule] message`; exit status is 1 when any violation is
+//! found, 2 on usage/configuration errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: parflow-lint [--root DIR] [--config FILE] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot read cwd: {e}")),
+            };
+            match parflow_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => return fail("no lint.toml found in this or any parent directory"),
+            }
+        }
+    };
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {}: {e}", config_path.display())),
+    };
+    let cfg = match parflow_lint::Config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let diags = match parflow_lint::lint_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("walk failed: {e}")),
+    };
+    if diags.is_empty() {
+        if !quiet {
+            println!("parflow-lint: clean ({} rules)", cfg.rules.len());
+        }
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("parflow-lint: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("parflow-lint: {msg}\nusage: parflow-lint [--root DIR] [--config FILE] [--quiet]");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("parflow-lint: {msg}");
+    ExitCode::from(2)
+}

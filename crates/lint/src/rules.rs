@@ -1,0 +1,300 @@
+//! The four project rules.
+//!
+//! Each rule is a lexical token-pattern check over scrubbed source (see
+//! [`crate::lexer`]), scoped by `lint.toml` paths and overridable per
+//! line with `// lint: allow(<rule>) <reason>` on the flagged line or the
+//! line above (the reason is mandatory). Test code (`#[cfg(test)]` /
+//! `#[test]` regions) is never linted: the rules protect production
+//! invariants, and tests legitimately unwrap.
+//!
+//! | rule | invariant protected |
+//! |---|---|
+//! | `nondeterminism` (L1) | engine/golden paths take no input from wall clocks, OS entropy, or hash iteration order |
+//! | `truncating-cast` (L2) | counters and accumulators never silently truncate (`u64 → u32` class; the PR 3 `failed_steals` saturation family) |
+//! | `panicking` (L3) | engine hot paths and worker loops never panic; errors go through the PR 1 error API |
+//! | `rng` (L4) | only declared files may construct or advance a seeded RNG stream |
+//!
+//! See `docs/STATIC_ANALYSIS.md` for the full rule-to-invariant map.
+
+use crate::lexer::{find_word, Scrubbed};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule slug (`nondeterminism`, `truncating-cast`, `panicking`, `rng`).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Rule slugs in reporting order.
+pub const RULES: &[&str] = &["nondeterminism", "truncating-cast", "panicking", "rng"];
+
+/// Integer types an `as` cast can silently truncate 64-bit counters into.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// L1: nondeterminism sources in determinism-scoped paths.
+const NONDET_NEEDLES: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock read"),
+    ("SystemTime::now", "wall-clock read"),
+    ("thread_rng", "OS-entropy RNG"),
+    (
+        "HashMap",
+        "hash-order container (iteration order is nondeterministic)",
+    ),
+    (
+        "HashSet",
+        "hash-order container (iteration order is nondeterministic)",
+    ),
+    (
+        "RandomState",
+        "hash-order container (iteration order is nondeterministic)",
+    ),
+];
+
+/// L3: panicking calls in hot paths.
+const PANIC_NEEDLES: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "percentile_sorted(",
+];
+
+/// L4: RNG construction / seeding entry points.
+const RNG_NEEDLES: &[&str] = &[
+    "SmallRng::",
+    "StdRng::",
+    "from_entropy",
+    "seed_from_u64",
+    "from_seed",
+    "from_rng",
+];
+
+/// Is line `idx` (0-based) excused from `rule` by an inline annotation on
+/// the same or previous line? The annotation must carry a reason.
+fn allowed(scr: &Scrubbed, idx: usize, rule: &str) -> bool {
+    let probe = |i: usize| -> bool {
+        scr.line_comments
+            .get(i)
+            .is_some_and(|c| annotation_allows(c, rule))
+    };
+    probe(idx) || (idx > 0 && probe(idx - 1))
+}
+
+/// Does comment text contain `lint: allow(<rule>) <reason>`?
+fn annotation_allows(comment: &str, rule: &str) -> bool {
+    let Some(pos) = comment.find("lint: allow(") else {
+        return false;
+    };
+    let rest = &comment[pos + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[..close].trim() == rule && !rest[close + 1..].trim().is_empty()
+}
+
+/// Run every rule that `cfg` scopes onto `rel_path` over one file.
+pub fn lint_file(
+    rel_path: &str,
+    source: &str,
+    scr: &Scrubbed,
+    cfg: &crate::config::Config,
+) -> Vec<Diagnostic> {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = scr.code.lines().collect();
+    let mut out = Vec::new();
+
+    let active = |rule: &str| cfg.rules.get(rule).is_some_and(|r| r.applies_to(rel_path));
+
+    let mut push = |idx: usize, rule: &'static str, message: String| {
+        out.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: idx + 1,
+            rule,
+            message,
+            snippet: raw_lines
+                .get(idx)
+                .map_or(String::new(), |l| l.trim().to_string()),
+        });
+    };
+
+    for (idx, line) in code_lines.iter().enumerate() {
+        if scr.test_mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        if active("nondeterminism") && !allowed(scr, idx, "nondeterminism") {
+            for &(needle, why) in NONDET_NEEDLES {
+                if !find_word(line, needle).is_empty() {
+                    push(
+                        idx,
+                        "nondeterminism",
+                        format!("`{needle}` in a determinism-scoped path: {why}"),
+                    );
+                }
+            }
+        }
+        if active("truncating-cast") && !allowed(scr, idx, "truncating-cast") {
+            for target in narrowing_casts(line) {
+                push(
+                    idx,
+                    "truncating-cast",
+                    format!(
+                        "`as {target}` can silently truncate a 64-bit counter; \
+                         widen, use `try_into`, or annotate why the value is bounded"
+                    ),
+                );
+            }
+            if (line.contains(".as_nanos()") || line.contains(".as_micros()"))
+                && !find_word(line, "u64").is_empty()
+                && line.contains(" as ")
+            {
+                push(
+                    idx,
+                    "truncating-cast",
+                    "`u128 -> u64` truncation of a Duration reading; \
+                     annotate the horizon that makes it safe"
+                        .to_string(),
+                );
+            }
+        }
+        if active("panicking") && !allowed(scr, idx, "panicking") {
+            for &needle in PANIC_NEEDLES {
+                if !find_word(line, needle).is_empty() {
+                    push(
+                        idx,
+                        "panicking",
+                        format!("`{needle}` in an engine hot path / worker loop"),
+                    );
+                }
+            }
+        }
+        if active("rng") && !allowed(scr, idx, "rng") {
+            for &needle in RNG_NEEDLES {
+                if !find_word(line, needle).is_empty() {
+                    push(
+                        idx,
+                        "rng",
+                        format!(
+                            "`{needle}` constructs/advances an RNG stream outside \
+                             the declared RNG-owning files"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Narrow integer targets of `as` casts on a scrubbed line.
+fn narrowing_casts(line: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for pos in find_word(line, "as") {
+        let rest = &line[pos + 2..];
+        let next: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(t) = NARROW_INTS.iter().find(|t| **t == next) {
+            out.push(*t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::lexer::scrub;
+
+    fn cfg_for(rule: &str, path: &str) -> Config {
+        Config::parse(&format!("[{rule}]\npaths = [\"{path}\"]\n")).unwrap()
+    }
+
+    fn run(rule: &str, src: &str) -> Vec<Diagnostic> {
+        let cfg = cfg_for(rule, "x.rs");
+        lint_file("x.rs", src, &scrub(src), &cfg)
+    }
+
+    #[test]
+    fn narrowing_cast_detected_and_allowed() {
+        let d = run("truncating-cast", "let a = b as u32;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "truncating-cast");
+        let ok = run(
+            "truncating-cast",
+            "// lint: allow(truncating-cast) bounded by job-id width\nlet a = b as u32;\n",
+        );
+        assert!(ok.is_empty());
+        assert!(run("truncating-cast", "let a = b as u64;\n").is_empty());
+        assert!(run("truncating-cast", "let a = b as usize;\n").is_empty());
+    }
+
+    #[test]
+    fn annotation_requires_reason() {
+        let d = run(
+            "truncating-cast",
+            "// lint: allow(truncating-cast)\nlet a = b as u32;\n",
+        );
+        assert_eq!(d.len(), 1, "reasonless allow must not excuse the line");
+    }
+
+    #[test]
+    fn string_contents_do_not_trip_rules() {
+        assert!(run("nondeterminism", "let s = \"Instant::now\";\n").is_empty());
+        assert_eq!(run("nondeterminism", "let t = Instant::now();\n").len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(run("panicking", src).is_empty());
+    }
+
+    #[test]
+    fn duration_u128_truncation_flagged() {
+        let d = run(
+            "truncating-cast",
+            "let ns = t.elapsed().as_nanos() as u64;\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn try_percentile_is_fine_percentile_is_not() {
+        assert!(run("panicking", "let p = try_percentile_sorted(&v, q);\n").is_empty());
+        assert_eq!(
+            run("panicking", "let p = percentile_sorted(&v, q);\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rng_construction_scoped() {
+        assert_eq!(run("rng", "let r = SmallRng::seed_from_u64(7);\n").len(), 2);
+        let cfg = Config::parse("[rng]\npaths = [\"other.rs\"]\n").unwrap();
+        let src = "let r = SmallRng::seed_from_u64(7);\n";
+        assert!(lint_file("x.rs", src, &scrub(src), &cfg).is_empty());
+    }
+}

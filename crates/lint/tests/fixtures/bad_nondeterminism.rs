@@ -1,0 +1,24 @@
+//! Fixture: every forbidden nondeterminism source, one per line.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn clocky() -> u64 {
+    let t = std::time::Instant::now();
+    let _w = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _s: HashSet<u32> = HashSet::new();
+    let _ok = std::time::Instant::now(); // lint: allow(nondeterminism) fixture: annotated line must NOT be reported
+    t.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        // Inside a test region: HashMap here must NOT be reported.
+        let _m: std::collections::HashMap<u8, u8> = Default::default();
+    }
+}

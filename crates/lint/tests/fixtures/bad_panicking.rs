@@ -1,0 +1,14 @@
+//! Fixture: panicking calls in a would-be hot path.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+fn hot(v: Vec<u64>, o: Option<u64>) -> u64 {
+    let x = o.unwrap();
+    let y = o.expect("must be set");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    let p = percentile_sorted(&v, 0.99);
+    let ok = o.unwrap(); // lint: allow(panicking) fixture: invariant named here
+    let t = try_percentile_sorted(&v, 0.5); // non-panicking variant must NOT be reported
+    x + y + p + ok + t.unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+//! Fixture: undeclared RNG construction/seeding.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn rogue_stream(seed: u64) -> SmallRng {
+    let a = SmallRng::seed_from_u64(seed);
+    let b = SmallRng::from_entropy();
+    let _c = StdRng::from_seed([0u8; 32]);
+    let _ok = SmallRng::seed_from_u64(7); // lint: allow(rng) fixture: declared derived stream
+    drop(b);
+    a
+}

@@ -1,0 +1,12 @@
+//! Fixture: truncating `as` casts onto narrow integer widths.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+fn casts(n: u64, d: std::time::Duration) -> u32 {
+    let a = n as u32;
+    let b = n as u16;
+    let c = d.as_nanos() as u64;
+    let s = "n as u32"; // cast inside a string literal must NOT be reported
+    let ok = n as u32; // lint: allow(truncating-cast) fixture: bounded by construction
+    let _ = (b, c, s, ok);
+    a
+}

@@ -1,0 +1,152 @@
+//! Fixture self-tests: one known-bad file per rule under
+//! `tests/fixtures/`, with the exact expected diagnostics pinned. Each
+//! fixture also embeds a negative case (an annotated line, a string
+//! literal, a test region, or a lookalike identifier) that must NOT be
+//! reported, so these tests pin both directions of every rule.
+//!
+//! The final test runs the real workspace lint with the real `lint.toml`,
+//! making `cargo test` itself fail if a violation lands without a reasoned
+//! allow — the linter is self-enforcing, not CI-only.
+
+use parflow_lint::{lint_source, Config};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(p).expect("fixture readable")
+}
+
+/// Scope a single rule onto the fixture path and lint it.
+fn run(rule: &str, name: &str) -> Vec<(usize, String)> {
+    let cfg = Config::parse(&format!("[{rule}]\npaths = [\"{name}\"]\n")).expect("config");
+    lint_source(name, &fixture(name), &cfg)
+        .into_iter()
+        .map(|d| {
+            assert_eq!(d.rule, rule);
+            assert_eq!(d.file, name);
+            (d.line, d.message)
+        })
+        .collect()
+}
+
+/// Assert the exact (line, message-needle) sequence of diagnostics.
+fn expect(diags: &[(usize, String)], want: &[(usize, &str)]) {
+    let got: Vec<(usize, &String)> = diags.iter().map(|(l, m)| (*l, m)).collect();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "diagnostic count mismatch:\n got: {got:#?}\nwant: {want:#?}"
+    );
+    for ((gl, gm), (wl, wn)) in got.iter().zip(want) {
+        assert_eq!(
+            gl, wl,
+            "line mismatch: got {gm:?} at {gl}, wanted `{wn}` at {wl}"
+        );
+        assert!(
+            gm.contains(wn),
+            "message at line {gl} should mention `{wn}`, got {gm:?}"
+        );
+    }
+}
+
+#[test]
+fn nondeterminism_fixture_exact_diagnostics() {
+    let d = run("nondeterminism", "bad_nondeterminism.rs");
+    expect(
+        &d,
+        &[
+            (4, "HashMap"),
+            (5, "HashSet"),
+            (8, "Instant::now"),
+            (9, "SystemTime::now"),
+            (10, "thread_rng"),
+            (11, "HashMap"),
+            (12, "HashSet"),
+            // line 13 carries `lint: allow(nondeterminism) <reason>` — excused;
+            // the `#[cfg(test)]` region at the bottom is masked entirely.
+        ],
+    );
+}
+
+#[test]
+fn truncating_cast_fixture_exact_diagnostics() {
+    let d = run("truncating-cast", "bad_truncating_cast.rs");
+    expect(
+        &d,
+        &[
+            (5, "`as u32`"),
+            (6, "`as u16`"),
+            (7, "u128 -> u64"),
+            // line 8: cast text inside a string literal — scrubbed, not reported;
+            // line 9: annotated with a reasoned allow — excused.
+        ],
+    );
+}
+
+#[test]
+fn panicking_fixture_exact_diagnostics() {
+    let d = run("panicking", "bad_panicking.rs");
+    expect(
+        &d,
+        &[
+            (5, ".unwrap()"),
+            (6, ".expect("),
+            (8, "panic!("),
+            (10, "percentile_sorted("),
+            // line 11: reasoned allow; line 12: `try_percentile_sorted` is a
+            // different word (underscore boundary) — not reported; line 13:
+            // `.unwrap_or(` is not `.unwrap()` — not reported.
+        ],
+    );
+}
+
+#[test]
+fn rng_fixture_exact_diagnostics() {
+    let d = run("rng", "bad_rng.rs");
+    expect(
+        &d,
+        &[
+            (8, "SmallRng::"),
+            (8, "seed_from_u64"),
+            (9, "SmallRng::"),
+            (9, "from_entropy"),
+            (10, "StdRng::"),
+            (10, "from_seed"),
+            // line 4 `use ...::SmallRng;` has no `::` call — not reported;
+            // line 11: reasoned allow.
+        ],
+    );
+}
+
+#[test]
+fn reasonless_allow_does_not_excuse_fixture_lines() {
+    let cfg = Config::parse("[panicking]\npaths = [\"f.rs\"]\n").expect("config");
+    let src = "// lint: allow(panicking)\nlet x = o.unwrap();\n";
+    let d = lint_source("f.rs", src, &cfg);
+    assert_eq!(d.len(), 1, "a reasonless allow must not excuse the line");
+}
+
+/// The workspace itself must lint clean with the checked-in `lint.toml` —
+/// run the real thing so `cargo test` enforces it without CI.
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml readable");
+    let cfg = Config::parse(&toml).expect("lint.toml parses");
+    let diags = parflow_lint::lint_workspace(&root, &cfg).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "workspace has unexcused lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

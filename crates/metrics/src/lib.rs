@@ -4,6 +4,7 @@
 //! ([`FlowStats`]), competitive-ratio helpers, fixed-bin histograms with
 //! ASCII rendering (Figure 3), and aligned tables for experiment output.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod flow;

@@ -35,6 +35,7 @@
 //! | `Sample { name, value }` | one observation of a distribution | collected, summarized as a histogram |
 //! | `SpanBegin` / `SpanEnd { name }` | phase boundaries | wall-clock duration per phase |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use parflow_metrics::{try_percentile_sorted, Histogram};

@@ -206,7 +206,9 @@ impl RuntimeResult {
             return Duration::ZERO;
         }
         let total: Duration = self.jobs.iter().map(|j| j.flow).sum();
-        total / self.jobs.len() as u32
+        // Executor-produced results are bounded by the TooManyJobs guard;
+        // saturate instead of truncating for hand-built oversized results.
+        total / u32::try_from(self.jobs.len()).unwrap_or(u32::MAX)
     }
 
     /// True when every job ran to completion.
@@ -286,6 +288,10 @@ pub enum RuntimeError {
     SubmitterPanicked,
     /// The watchdog thread died.
     WatchdogPanicked,
+    /// The workload has more jobs than the `u32` dense job-id space can
+    /// address. Checked up front so every `index as u32` in the engine is
+    /// provably lossless.
+    TooManyJobs(usize),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -295,6 +301,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::WorkerPanicked(p) => write!(f, "worker thread {p} panicked"),
             RuntimeError::SubmitterPanicked => write!(f, "submitter thread panicked"),
             RuntimeError::WatchdogPanicked => write!(f, "watchdog thread panicked"),
+            RuntimeError::TooManyJobs(n) => {
+                write!(f, "workload has {n} jobs; job ids are dense u32 indices")
+            }
         }
     }
 }
@@ -388,7 +397,7 @@ struct Shared {
 impl Shared {
     /// Current engine time in rounds (for fault-event timestamps).
     fn now_round(&self) -> u64 {
-        self.base.elapsed().as_nanos() as u64 / NS_PER_TICK
+        self.base.elapsed().as_nanos() as u64 / NS_PER_TICK // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
     }
 
     fn push_event(&self, kind: FaultKind, worker: Option<usize>, job: Option<u32>, detail: u64) {
@@ -424,6 +433,7 @@ fn round_to_duration(round: u64) -> Duration {
 /// Panics on engine-level failures; use [`try_run_workload`] to handle
 /// them as errors instead.
 pub fn run_workload(config: &RuntimeConfig, workload: &[(Duration, JobSpec)]) -> RuntimeResult {
+    // lint: allow(panicking) documented panicking wrapper; try_run_workload is the error API
     try_run_workload(config, workload).unwrap_or_else(|e| panic!("runtime failure: {e}"))
 }
 
@@ -438,6 +448,11 @@ pub fn try_run_workload(
     if let Err(msg) = config.faults.validate(config.workers) {
         return Err(RuntimeError::InvalidFaultPlan(msg));
     }
+    if workload.len() > u32::MAX as usize {
+        // Guard the dense-u32 job-id space once, here, so every
+        // `index as u32` below is provably lossless.
+        return Err(RuntimeError::TooManyJobs(workload.len()));
+    }
     let inject_panics =
         config.faults.panic_ppm > 0 || workload.iter().any(|&(_, s)| s.shape == JobShape::Poison);
     if inject_panics {
@@ -450,7 +465,7 @@ pub fn try_run_workload(
     let states: Vec<JobState> = workload
         .iter()
         .enumerate()
-        .map(|(i, &(_, spec))| JobState::new(i as u32, spec))
+        .map(|(i, &(_, spec))| JobState::new(i as u32, spec)) // lint: allow(truncating-cast) bounded by the TooManyJobs guard at run entry
         .collect();
     let base = Instant::now();
     let shared = Arc::new(Shared {
@@ -497,12 +512,12 @@ pub fn try_run_workload(
                     std::thread::sleep((target - now).min(Duration::from_millis(10)));
                 }
                 // `max(1)` so arrival_ns == 0 still means "never arrived".
-                let ns = shared.base.elapsed().as_nanos() as u64;
+                let ns = shared.base.elapsed().as_nanos() as u64; // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
                 shared.states[i]
                     .arrival_ns
                     .store(ns.max(1), Ordering::Release);
                 shared.submitted.fetch_add(1, Ordering::Release);
-                shared.injector.push(i as u32);
+                shared.injector.push(i as u32); // lint: allow(truncating-cast) bounded by the TooManyJobs guard at run entry
             }
         })
     };
@@ -545,18 +560,16 @@ pub fn try_run_workload(
         })
     });
 
-    // Worker threads.
+    // Worker threads. Each deque moves straight into its worker's
+    // closure; ownership is by construction, so the worker path has no
+    // `expect` to reach for (this replaced a `Mutex<Option<Deque>>`
+    // take-once dance whose failure mode was a worker-thread panic).
     let mut handles = Vec::with_capacity(config.workers);
-    let deques: Vec<Mutex<Option<Deque<Task>>>> =
-        deques.into_iter().map(|d| Mutex::new(Some(d))).collect();
-    let deques = Arc::new(deques);
-    for p in 0..config.workers {
+    for (p, local) in deques.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
-        let deques = Arc::clone(&deques);
         let policy = config.policy;
         let seed = config.seed.wrapping_add(p as u64);
         handles.push(std::thread::spawn(move || {
-            let local = deques[p].lock().take().expect("deque taken once");
             worker_loop(p, &local, policy, seed, &shared)
         }));
     }
@@ -583,7 +596,7 @@ pub fn try_run_workload(
         return Err(e);
     }
 
-    let end_ns = base.elapsed().as_nanos() as u64;
+    let end_ns = base.elapsed().as_nanos() as u64; // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
     let fault_events = std::mem::take(&mut *shared.events.lock());
     let jobs = shared
         .states
@@ -659,8 +672,10 @@ fn execute(
         }
         TaskKind::Chunk => {
             let seq = job.next_seq();
+            // Full-width seq: `as u32` here silently recycled panic
+            // decisions past 2³² chunks per job (see should_panic_seq).
             let injected =
-                job.shape == JobShape::Poison || shared.sampler.should_panic(job.id, seq as u32);
+                job.shape == JobShape::Poison || shared.sampler.should_panic_seq(job.id, seq);
             let started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if injected {
@@ -676,7 +691,7 @@ fn execute(
                     if rate_ppm < PPM {
                         // Injected slowdown: stretch the chunk so the worker
                         // delivers `rate_ppm`/1e6 of full throughput.
-                        let ns = started.elapsed().as_nanos() as u64;
+                        let ns = started.elapsed().as_nanos() as u64; // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
                         let extra =
                             ns.saturating_mul((PPM - rate_ppm) as u64) / rate_ppm.max(1) as u64;
                         std::thread::sleep(Duration::from_nanos(extra.min(10_000_000)));

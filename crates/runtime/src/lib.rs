@@ -23,6 +23,7 @@
 //! assert!(result.max_flow() > Duration::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod executor;

@@ -137,7 +137,7 @@ impl JobState {
             if self.terminal.swap(true, Ordering::AcqRel) {
                 return false;
             }
-            let ns = base.elapsed().as_nanos() as u64;
+            let ns = base.elapsed().as_nanos() as u64; // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
             self.completion_ns.store(ns.max(1), Ordering::Release);
             true
         } else {
@@ -152,7 +152,7 @@ impl JobState {
         if self.terminal.swap(true, Ordering::AcqRel) {
             return false;
         }
-        let ns = base.elapsed().as_nanos() as u64;
+        let ns = base.elapsed().as_nanos() as u64; // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
         self.completion_ns.store(ns.max(1), Ordering::Release);
         true
     }

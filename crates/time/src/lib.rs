@@ -18,6 +18,7 @@
 //! Keeping this exact (rather than `f64`) makes simulations bit-reproducible
 //! and lets property tests state invariants as equalities.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod rational;

@@ -14,6 +14,7 @@
 //!
 //! Units: 1 work unit = 1 tick = 0.1 ms ([`TICKS_PER_SECOND`] = 10 000).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;

@@ -32,7 +32,7 @@ use crate::time::{Rational, Speed};
 use crate::workloads::{trace_io, DistKind, InstanceStats, ShapeKind, WorkloadSpec};
 use parflow_dag::{shapes, Instance};
 use parflow_obs::{JsonRecorder, Recorder};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -68,13 +68,13 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Parsed `--key value` flags.
-pub struct Flags(HashMap<String, String>);
+pub struct Flags(BTreeMap<String, String>);
 
 impl Flags {
     /// Parse flags from arguments after the subcommand. Flags must come as
     /// `--key value` pairs.
     pub fn parse(args: &[String]) -> Result<Flags, CliError> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let key = a

@@ -37,6 +37,8 @@
 //! assert!(ws.max_flow() >= opt); // OPT lower-bounds every feasible schedule
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bridge;
 pub mod cli;
 
