@@ -8,7 +8,7 @@
 //! `lower-bound`, `theory-fifo`, `theory-ws`, `theory-bwf`, `steal-k`,
 //! `intervals`, `victim-ablation`, `equi`, `norms`, `grain`, `burst`,
 //! `backlog`, `lemmas`, `scaling`, `variance`, `steal-amount`,
-//! `weighted-ws`, `fault-resilience`, or `all` (default).
+//! `weighted-ws`, `fault-resilience`, `serve-soak`, or `all` (default).
 //!
 //! Flags: `--csv DIR` persists every table as CSV; `--list` enumerates
 //! experiment names; `--bench-json PATH` appends an engine-throughput
@@ -22,8 +22,8 @@
 
 use parflow_bench::experiments::{
     backlog, base_seed, burst, equi_ablation, fault_resilience, fig2, fig3, grain, intervals,
-    jobs_per_point, lemma_audit, lower_bound, norms, scaling, steal_amount, steal_k, theory_bwf,
-    theory_fifo, theory_ws, variance, victim_ablation, weighted_ws,
+    jobs_per_point, lemma_audit, lower_bound, norms, scaling, serve_soak, steal_amount, steal_k,
+    theory_bwf, theory_fifo, theory_ws, variance, victim_ablation, weighted_ws,
 };
 use parflow_bench::{throughput, Reporter};
 use parflow_obs::{AggregatingRecorder, Recorder};
@@ -51,6 +51,7 @@ const EXPERIMENTS: &[&str] = &[
     "steal-amount",
     "weighted-ws",
     "fault-resilience",
+    "serve-soak",
     "lemmas",
     "backlog",
     "intervals",
@@ -323,6 +324,20 @@ fn main() {
         println!(
             "crashed deques are reinjected, so no completed job is lost — only panics fail jobs"
         );
+    }
+    if want("serve-soak") {
+        let _p = PhaseGuard::begin(obs.as_ref(), "serve-soak");
+        banner("Robustness: streaming admission service under sustained QPS (SLO soak)");
+        let pts = serve_soak::run_sized(
+            &serve_soak::default_utils(),
+            seed,
+            jobs_per_point().min(5_000),
+        );
+        reporter
+            .emit("serve_soak", &serve_soak::table(&pts))
+            .expect("csv write");
+        println!("expected shape: shed/reject rates rise past utilization 1.0, while the");
+        println!("max virtual flow over admitted jobs stays under the SLO at every level");
     }
     if want("lemmas") {
         let _p = PhaseGuard::begin(obs.as_ref(), "lemmas");

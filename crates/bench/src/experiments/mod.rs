@@ -15,6 +15,7 @@ pub mod lemma_audit;
 pub mod lower_bound;
 pub mod norms;
 pub mod scaling;
+pub mod serve_soak;
 pub mod steal_amount;
 pub mod steal_k;
 pub mod theory_bwf;

@@ -276,7 +276,12 @@ impl RuntimeResult {
 /// Engine-level failures surfaced by [`try_run_workload`]. These indicate
 /// bugs or bad configuration, not job failures (which are reported per-job
 /// via [`JobStatus`]).
+///
+/// `#[non_exhaustive]`: the streaming admission service grows this
+/// vocabulary (ingest I/O, queue overflow); downstream matches must keep a
+/// wildcard arm so new failure modes cannot silently break callers.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// The fault plan references workers outside `0..workers` or leaves no
     /// worker able to make progress.
@@ -292,6 +297,16 @@ pub enum RuntimeError {
     /// address. Checked up front so every `index as u32` in the engine is
     /// provably lossless.
     TooManyJobs(usize),
+    /// An I/O failure on a runtime-adjacent surface (submission ingest,
+    /// report flush). Message only, so the error stays `Eq`-comparable.
+    Io(String),
+    /// A bounded admission queue was full and the submission was shed.
+    /// Surfaced — never a silent drop — so supervisors can count and
+    /// re-route sheds.
+    ShedOverflow {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -304,11 +319,79 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::TooManyJobs(n) => {
                 write!(f, "workload has {n} jobs; job ids are dense u32 indices")
             }
+            RuntimeError::Io(msg) => write!(f, "i/o failure: {msg}"),
+            RuntimeError::ShedOverflow { capacity } => {
+                write!(
+                    f,
+                    "admission queue full (capacity {capacity}); submission shed"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// A failed run together with whatever the engine finished before dying:
+/// the `Err` payload of [`try_run_workload`].
+///
+/// `partial` is `None` only for errors raised before any thread started
+/// (an invalid fault plan, an oversized workload). For mid-run failures it
+/// holds the salvaged [`RuntimeResult`] — jobs that reached a terminal
+/// state keep their real statuses and flows, unfinished ones are marked
+/// [`JobStatus::Aborted`] — so a supervisor can re-admit *only* the truly
+/// unfinished jobs instead of replaying the whole workload.
+#[derive(Clone, Debug)]
+pub struct FailedRun {
+    /// What went wrong.
+    pub error: RuntimeError,
+    /// Telemetry for the part of the workload that did run, if any thread
+    /// got far enough to produce it. Boxed so the error path stays small
+    /// next to the `Ok` payload.
+    pub partial: Option<Box<RuntimeResult>>,
+}
+
+impl FailedRun {
+    /// A failure raised before the engine started (no partial results).
+    pub fn before_start(error: RuntimeError) -> Self {
+        FailedRun {
+            error,
+            partial: None,
+        }
+    }
+
+    /// Ids of jobs that did *not* reach a terminal completed/failed state,
+    /// in submission order — the re-admission set for a supervisor.
+    pub fn unfinished_jobs(&self) -> Vec<u32> {
+        match &self.partial {
+            None => Vec::new(),
+            Some(r) => r
+                .jobs
+                .iter()
+                .filter(|j| j.status == JobStatus::Aborted)
+                .map(|j| j.id)
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for FailedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for FailedRun {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<FailedRun> for RuntimeError {
+    fn from(f: FailedRun) -> RuntimeError {
+        f.error
+    }
+}
 
 /// Payload of deliberately injected chunk panics. The global panic hook is
 /// taught (once, lazily) to stay silent for this payload so fault-injection
@@ -438,20 +521,23 @@ pub fn run_workload(config: &RuntimeConfig, workload: &[(Duration, JobSpec)]) ->
 }
 
 /// Fallible variant of [`run_workload`]: engine-level problems (invalid
-/// fault plan, a genuinely dead thread) come back as [`RuntimeError`]
-/// instead of panicking. Job-level failures never produce an `Err` — they
-/// are reported per job via [`RtJobResult::status`].
+/// fault plan, a genuinely dead thread) come back as a [`FailedRun`]
+/// carrying the salvaged partial [`RuntimeResult`] instead of panicking
+/// and losing it. Job-level failures never produce an `Err` — they are
+/// reported per job via [`RtJobResult::status`].
 pub fn try_run_workload(
     config: &RuntimeConfig,
     workload: &[(Duration, JobSpec)],
-) -> Result<RuntimeResult, RuntimeError> {
+) -> Result<RuntimeResult, FailedRun> {
     if let Err(msg) = config.faults.validate(config.workers) {
-        return Err(RuntimeError::InvalidFaultPlan(msg));
+        return Err(FailedRun::before_start(RuntimeError::InvalidFaultPlan(msg)));
     }
     if workload.len() > u32::MAX as usize {
         // Guard the dense-u32 job-id space once, here, so every
         // `index as u32` below is provably lossless.
-        return Err(RuntimeError::TooManyJobs(workload.len()));
+        return Err(FailedRun::before_start(RuntimeError::TooManyJobs(
+            workload.len(),
+        )));
     }
     let inject_panics =
         config.faults.panic_ppm > 0 || workload.iter().any(|&(_, s)| s.shape == JobShape::Poison);
@@ -592,9 +678,6 @@ pub fn try_run_workload(
             error.get_or_insert(RuntimeError::WatchdogPanicked);
         }
     }
-    if let Some(e) = error {
-        return Err(e);
-    }
 
     let end_ns = base.elapsed().as_nanos() as u64; // lint: allow(truncating-cast) u64 nanoseconds wrap after ~584 years of run wall-clock
     let fault_events = std::mem::take(&mut *shared.events.lock());
@@ -623,7 +706,7 @@ pub fn try_run_workload(
             }
         })
         .collect();
-    Ok(RuntimeResult {
+    let result = RuntimeResult {
         jobs,
         stats: RuntimeStats {
             tasks_executed: shared.tasks_executed.load(Ordering::Relaxed),
@@ -637,7 +720,17 @@ pub fn try_run_workload(
         elapsed: base.elapsed(),
         aborted: shared.aborted.load(Ordering::Acquire),
         fault_events,
-    })
+    };
+    match error {
+        // A dead thread loses none of the completed-job telemetry: the
+        // partial result rides along so supervisors can re-admit only the
+        // truly unfinished jobs.
+        Some(e) => Err(FailedRun {
+            error: e,
+            partial: Some(Box::new(result)),
+        }),
+        None => Ok(result),
+    }
 }
 
 fn execute(
@@ -1163,11 +1256,65 @@ mod tests {
         let cfg =
             RuntimeConfig::new(2, RtPolicy::AdmitFirst).with_faults(FaultPlan::none().crash(7, 0));
         match try_run_workload(&cfg, &burst_workload(1, 1, 100)) {
-            Err(RuntimeError::InvalidFaultPlan(msg)) => {
+            Err(FailedRun {
+                error: RuntimeError::InvalidFaultPlan(msg),
+                partial,
+            }) => {
                 assert!(msg.contains("worker 7"), "{msg}");
+                assert!(partial.is_none(), "pre-start failures have no partial");
             }
             other => panic!("expected InvalidFaultPlan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn failed_run_reports_unfinished_jobs() {
+        // A hand-built failure: jobs 0 and 2 finished, 1 and 3 did not.
+        // `unfinished_jobs` is the supervisor's re-admission set.
+        let jobs = vec![
+            (JobStatus::Completed, 0),
+            (JobStatus::Aborted, 1),
+            (JobStatus::Failed, 2),
+            (JobStatus::Aborted, 3),
+        ]
+        .into_iter()
+        .map(|(status, id)| RtJobResult {
+            id,
+            flow: Duration::ZERO,
+            status,
+        })
+        .collect();
+        let partial = RuntimeResult {
+            jobs,
+            stats: RuntimeStats::default(),
+            worker_stats: Vec::new(),
+            elapsed: Duration::ZERO,
+            aborted: true,
+            fault_events: Vec::new(),
+        };
+        let failed = FailedRun {
+            error: RuntimeError::WorkerPanicked(1),
+            partial: Some(Box::new(partial)),
+        };
+        assert_eq!(failed.unfinished_jobs(), vec![1, 3]);
+        assert_eq!(failed.to_string(), "worker thread 1 panicked");
+        assert_eq!(RuntimeError::from(failed), RuntimeError::WorkerPanicked(1));
+        assert!(FailedRun::before_start(RuntimeError::SubmitterPanicked)
+            .unfinished_jobs()
+            .is_empty());
+    }
+
+    #[test]
+    fn new_error_variants_display() {
+        let io = RuntimeError::Io("listener refused".into());
+        assert!(io.to_string().contains("listener refused"));
+        let shed = RuntimeError::ShedOverflow { capacity: 64 };
+        assert!(shed.to_string().contains("capacity 64"), "{shed}");
+        assert!(shed.to_string().contains("shed"));
+        // std::error::Error source chain through FailedRun.
+        let f = FailedRun::before_start(io.clone());
+        let src = std::error::Error::source(&f).expect("source");
+        assert_eq!(src.to_string(), io.to_string());
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod executor;
 mod task;
 
 pub use executor::{
-    run_workload, try_run_workload, RtJobResult, RtPolicy, RtWorkerStats, RuntimeConfig,
+    run_workload, try_run_workload, FailedRun, RtJobResult, RtPolicy, RtWorkerStats, RuntimeConfig,
     RuntimeError, RuntimeResult, RuntimeStats, NS_PER_TICK,
 };
 pub use task::{spin_kernel, JobShape, JobSpec, JobState, Task, TaskKind};

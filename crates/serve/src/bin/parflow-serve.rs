@@ -1,0 +1,13 @@
+//! The `parflow-serve` binary: a thin wrapper over [`parflow_serve::cli`].
+//! See `docs/SERVE.md` or run without arguments for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parflow_serve::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("parflow-serve: {e}");
+            std::process::exit(2);
+        }
+    }
+}

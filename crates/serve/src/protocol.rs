@@ -1,0 +1,186 @@
+//! The wire protocol: one JSON object per line (jsonl), hand-rolled in
+//! both directions so the crate works offline (the vendored `serde_json`
+//! stub cannot serialize).
+//!
+//! A submission line looks like
+//!
+//! ```text
+//! {"id": 7, "arrival": 1200, "work": 35}
+//! {"id": 8, "arrival": 1260, "work": 90, "poison": true}
+//! ```
+//!
+//! `id` is the client-chosen idempotency key: re-sending a line with an id
+//! the service has already admitted or completed is a no-op (counted, never
+//! double-executed). `arrival` is the submission's virtual-time stamp in
+//! ticks and must be non-decreasing within a stream — the admission ledger
+//! clamps regressions and counts them. `work` is the job's service demand
+//! in work units. `poison` is a chaos hook: the worker that picks the job
+//! up dies mid-execution without acknowledging it (the job is re-admitted
+//! with the poison stripped, so it still completes exactly once).
+//!
+//! The parser is tolerant by design: it scans for the fields it knows and
+//! ignores everything else, so new optional fields never break old
+//! readers. A line missing a required field is a [`ParseError`], which the
+//! ingest layer counts and skips — a malformed line must never take down
+//! the service.
+
+use parflow_time::{Ticks, Work};
+
+/// One job submission, decoded from a jsonl line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Submission {
+    /// Client-chosen idempotency key.
+    pub id: u64,
+    /// Virtual arrival time in ticks (non-decreasing within a stream).
+    pub arrival: Ticks,
+    /// Service demand in work units.
+    pub work: Work,
+    /// Chaos hook: kill the executing worker mid-job (first attempt only).
+    pub poison: bool,
+}
+
+impl Submission {
+    /// Serialize as one jsonl line (no trailing newline). Round-trips
+    /// through [`parse_submission`]; `poison` is emitted only when set so
+    /// ordinary traffic stays minimal.
+    pub fn to_jsonl(&self) -> String {
+        if self.poison {
+            format!(
+                "{{\"id\": {}, \"arrival\": {}, \"work\": {}, \"poison\": true}}",
+                self.id, self.arrival, self.work
+            )
+        } else {
+            format!(
+                "{{\"id\": {}, \"arrival\": {}, \"work\": {}}}",
+                self.id, self.arrival, self.work
+            )
+        }
+    }
+}
+
+/// Why a line failed to decode (message is user-facing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad submission line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Scan a scrubbed JSON object for `"key": <u64>`.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)?;
+    let rest = line[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Scan for `"key": true|false` (absent means `false`).
+fn bool_field(line: &str, key: &str) -> bool {
+    let needle = format!("\"{key}\"");
+    match line.find(&needle) {
+        Some(at) => {
+            let rest = line[at + needle.len()..].trim_start();
+            matches!(rest.strip_prefix(':').map(str::trim_start),
+                     Some(v) if v.starts_with("true"))
+        }
+        None => false,
+    }
+}
+
+/// Decode one jsonl line. Unknown fields are ignored; missing required
+/// fields (`id`, `arrival`, `work`) are an error.
+pub fn parse_submission(line: &str) -> Result<Submission, ParseError> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err(ParseError("expected a JSON object".into()));
+    }
+    let id = u64_field(line, "id").ok_or_else(|| ParseError("missing or bad \"id\"".into()))?;
+    let arrival = u64_field(line, "arrival")
+        .ok_or_else(|| ParseError("missing or bad \"arrival\"".into()))?;
+    let work =
+        u64_field(line, "work").ok_or_else(|| ParseError("missing or bad \"work\"".into()))?;
+    Ok(Submission {
+        id,
+        arrival,
+        work,
+        poison: bool_field(line, "poison"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for sub in [
+            Submission {
+                id: 0,
+                arrival: 0,
+                work: 1,
+                poison: false,
+            },
+            Submission {
+                id: u64::MAX,
+                arrival: 123_456,
+                work: 99,
+                poison: true,
+            },
+        ] {
+            assert_eq!(parse_submission(&sub.to_jsonl()), Ok(sub));
+        }
+    }
+
+    #[test]
+    fn tolerant_of_whitespace_order_and_unknown_fields() {
+        let line = r#"  { "work":5 ,"future_field": [1,2], "arrival" : 10, "id": 3 }  "#;
+        assert_eq!(
+            parse_submission(line),
+            Ok(Submission {
+                id: 3,
+                arrival: 10,
+                work: 5,
+                poison: false,
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"id": 1, "arrival": 2}"#,
+            r#"{"id": -1, "arrival": 2, "work": 3}"#,
+            r#"{"id": "x", "arrival": 2, "work": 3}"#,
+        ] {
+            assert!(parse_submission(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn poison_variants() {
+        assert!(
+            !parse_submission(r#"{"id":1,"arrival":2,"work":3,"poison":false}"#)
+                .map(|s| s.poison)
+                .unwrap_or(true)
+        );
+        assert!(
+            parse_submission(r#"{"id":1,"arrival":2,"work":3,"poison": true}"#)
+                .map(|s| s.poison)
+                .unwrap_or(false)
+        );
+    }
+}

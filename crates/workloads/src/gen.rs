@@ -1,6 +1,6 @@
 //! Workload specification and instance generation.
 
-use crate::arrivals::{ArrivalProcess, PeriodicArrivals, PoissonArrivals};
+use crate::arrivals::{take_arrivals, ArrivalSource, PeriodicArrivals, PoissonArrivals};
 use crate::dist::{bing, finance, LogNormalDist, WorkDistribution};
 use parflow_dag::{shapes, Instance, Job, JobDag};
 use parflow_time::Work;
@@ -151,16 +151,24 @@ impl WorkloadSpec {
     }
 
     /// Generate the instance.
+    ///
+    /// Implemented over the streaming [`ArrivalSource`] view; the draw
+    /// order (all arrivals, then one work sample per job) is unchanged, so
+    /// generated instances are byte-identical to the pre-stream layout.
     pub fn generate(&self) -> Instance {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let arrivals = match self.qps {
-            Some(qps) => {
-                PoissonArrivals::from_qps(qps, TICKS_PER_SECOND).arrivals(&mut rng, self.n_jobs)
-            }
-            None => PeriodicArrivals {
-                gap: self.period_ticks,
-            }
-            .arrivals(&mut rng, self.n_jobs),
+            Some(qps) => take_arrivals(
+                &mut PoissonArrivals::from_qps(qps, TICKS_PER_SECOND).stream(&mut rng),
+                self.n_jobs,
+            ),
+            None => take_arrivals(
+                &mut PeriodicArrivals {
+                    gap: self.period_ticks,
+                }
+                .stream(),
+                self.n_jobs,
+            ),
         };
         let jobs = arrivals
             .into_iter()
@@ -187,6 +195,96 @@ impl WorkloadSpec {
             None => TICKS_PER_SECOND / self.period_ticks as f64,
         };
         rate * (self.dist.mean() + overhead) / (TICKS_PER_SECOND * m as f64)
+    }
+}
+
+/// One job pulled from a [`JobSource`] stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamJob {
+    /// Zero-based position in the stream (doubles as a submission id).
+    pub index: u64,
+    /// Arrival time in ticks (non-decreasing across the stream).
+    pub arrival: parflow_time::Ticks,
+    /// Work in units (ticks of service on one unit-speed processor).
+    pub work: Work,
+}
+
+/// An endless, seeded stream of jobs for the streaming admission service
+/// and soak drivers: jobs are produced one at a time, so a sustained-QPS
+/// run never materializes an [`Instance`].
+///
+/// The arrival and work streams draw from two *independent* RNG streams
+/// derived from the spec seed, so interleaved pulling cannot perturb
+/// either sequence. This is a deliberately different stream layout from
+/// [`WorkloadSpec::generate`] (which draws all arrivals before any work
+/// samples, and stays byte-compatible with the finite goldens): use
+/// `generate` for finite golden-compared instances and `JobSource` for
+/// endless serving. Replay is exact: re-creating a `JobSource` from the
+/// same spec yields the same stream, any prefix length.
+pub struct JobSource {
+    dist: DistKind,
+    arrivals: Box<dyn ArrivalSource + Send>,
+    work_rng: SmallRng,
+    produced: u64,
+}
+
+/// Seed salt separating the work-sample stream from the arrival stream.
+const WORK_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl JobSource {
+    /// Pull the next job off the stream.
+    pub fn next_job(&mut self) -> StreamJob {
+        let index = self.produced;
+        self.produced += 1;
+        StreamJob {
+            index,
+            arrival: self.arrivals.next_arrival(),
+            work: self.dist.sample(&mut self.work_rng),
+        }
+    }
+
+    /// Jobs produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Name of the underlying arrival process.
+    pub fn arrival_name(&self) -> &'static str {
+        self.arrivals.source_name()
+    }
+}
+
+impl std::fmt::Debug for JobSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSource")
+            .field("dist", &self.dist)
+            .field("arrivals", &self.arrivals.source_name())
+            .field("produced", &self.produced)
+            .finish()
+    }
+}
+
+impl WorkloadSpec {
+    /// The endless streaming view of this spec (see [`JobSource`]).
+    pub fn job_source(&self) -> JobSource {
+        let arrivals: Box<dyn ArrivalSource + Send> = match self.qps {
+            Some(qps) => Box::new(
+                PoissonArrivals::from_qps(qps, TICKS_PER_SECOND)
+                    .stream(SmallRng::seed_from_u64(self.seed)),
+            ),
+            None => Box::new(
+                PeriodicArrivals {
+                    gap: self.period_ticks,
+                }
+                .stream(),
+            ),
+        };
+        JobSource {
+            dist: self.dist,
+            arrivals,
+            work_rng: SmallRng::seed_from_u64(self.seed ^ WORK_STREAM_SALT),
+            produced: 0,
+        }
     }
 }
 
@@ -294,6 +392,43 @@ mod tests {
         let arrivals: Vec<_> = inst.jobs().iter().map(|j| j.arrival).collect();
         assert_eq!(arrivals, vec![0, 100, 200, 300, 400]);
         assert!(inst.jobs().iter().all(|j| j.work() == 5));
+    }
+
+    #[test]
+    fn job_source_replays_and_streams_endlessly() {
+        let spec = WorkloadSpec::paper_fig2(DistKind::Bing, 1500.0, 10, 77);
+        let mut a = spec.job_source();
+        let mut b = spec.job_source();
+        let mut prev = 0;
+        for i in 0..5_000u64 {
+            let (x, y) = (a.next_job(), b.next_job());
+            assert_eq!(x, y, "same spec must replay the same stream");
+            assert_eq!(x.index, i);
+            assert!(x.arrival >= prev, "arrivals must be non-decreasing");
+            assert!(x.work >= 1);
+            prev = x.arrival;
+        }
+        assert_eq!(a.produced(), 5_000);
+        assert_eq!(a.arrival_name(), "poisson");
+    }
+
+    #[test]
+    fn job_source_periodic_mode() {
+        let spec = WorkloadSpec {
+            dist: DistKind::Constant(7),
+            shape: ShapeKind::Sequential,
+            qps: None,
+            period_ticks: 50,
+            n_jobs: 0, // ignored by the stream: it is endless
+            seed: 3,
+        };
+        let mut s = spec.job_source();
+        assert_eq!(s.arrival_name(), "periodic");
+        for i in 0..10u64 {
+            let j = s.next_job();
+            assert_eq!(j.arrival, i * 50);
+            assert_eq!(j.work, 7);
+        }
     }
 
     #[test]

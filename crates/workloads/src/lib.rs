@@ -24,12 +24,17 @@ pub mod lowerbound;
 pub mod stats;
 pub mod trace_io;
 
-pub use arrivals::{ArrivalProcess, BurstArrivals, PeriodicArrivals, PoissonArrivals};
+pub use arrivals::{
+    take_arrivals, ArrivalProcess, ArrivalSource, BurstArrivals, BurstStream, PeriodicArrivals,
+    PeriodicStream, PoissonArrivals, PoissonStream,
+};
 pub use dist::{
     bing, finance, ConstantDist, HistogramDist, LogNormalDist, ParetoDist, UniformDist,
     WorkDistribution,
 };
-pub use gen::{qps_for_utilization, DistKind, ShapeKind, WorkloadSpec, TICKS_PER_SECOND};
+pub use gen::{
+    qps_for_utilization, DistKind, JobSource, ShapeKind, StreamJob, WorkloadSpec, TICKS_PER_SECOND,
+};
 pub use lowerbound::{lemma_m_for_n, lower_bound_instance};
 pub use stats::InstanceStats;
 

@@ -7,6 +7,7 @@
 //! parflow generate --dist lognormal --qps 1200 --jobs 1000 --out inst.json
 //! parflow analyze  --in inst.json --scheduler fifo --eps 1/10
 //! parflow exec     --jobs 200 --m 4 --faults crash:3@1000,panic:0.01 --deadline 30s
+//! parflow serve    run --input subs.jsonl --workers 2 --slo 5000
 //! parflow dot      --shape fork-join --depth 3 --leaf 4
 //! ```
 //!
@@ -55,7 +56,7 @@ impl fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}'; try simulate|compare|generate|analyze|exec|dot"
+                    "unknown command '{c}'; try simulate|compare|generate|analyze|exec|serve|dot"
                 )
             }
             CliError::BadFlag(k, v) => write!(f, "bad value '{v}' for --{k}"),
@@ -480,7 +481,7 @@ fn exec_cmd(flags: &Flags) -> Result<String, CliError> {
     if let Some(r) = rec.as_mut() {
         r.span_begin("exec.run");
     }
-    let r = try_run_workload(&cfg, &wl).map_err(|e| match e {
+    let r = try_run_workload(&cfg, &wl).map_err(|e| match e.error {
         RuntimeError::InvalidFaultPlan(msg) => CliError::BadFlag("faults".into(), msg),
         other => CliError::Io(other.to_string()),
     })?;
@@ -573,6 +574,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let (cmd, rest) = args
         .split_first()
         .ok_or_else(|| CliError::UnknownCommand("<none>".into()))?;
+    if cmd == "serve" {
+        // The streaming admission service has its own flag grammar
+        // (boolean flags, subcommands); delegate before Flags::parse.
+        return parflow_serve::cli::run(rest).map_err(|e| CliError::Io(e.to_string()));
+    }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "simulate" => simulate_cmd(&flags),
@@ -605,6 +611,18 @@ mod tests {
         assert!(matches!(
             run_cli(&argv("frobnicate")),
             Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn serve_delegates_to_the_serve_crate() {
+        let out = run_cli(&argv("serve emit --n 3 --seed 1")).expect("serve emit");
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.lines().all(|l| l.starts_with('{')));
+        // Serve-side errors surface as CliError::Io.
+        assert!(matches!(
+            run_cli(&argv("serve bogus")),
+            Err(CliError::Io(_))
         ));
     }
 
