@@ -6,7 +6,7 @@
 //! schedulers persist? Larger m gives work stealing more victims per job
 //! (better) but also more jobs in flight (worse for admit-first).
 
-use parflow_core::{opt_max_flow, simulate_worksteal, SimConfig, StealPolicy};
+use parflow_core::{opt_max_flow, simulate_batched, ReplicaSpec, SimConfig, StealPolicy};
 use parflow_metrics::Table;
 use parflow_workloads::{qps_for_utilization, DistKind, WorkloadSpec, TICKS_PER_SECOND};
 use serde::{Deserialize, Serialize};
@@ -38,23 +38,20 @@ pub fn run(ms: &[usize], n_jobs: usize, seed: u64) -> Vec<ScalingPoint> {
         let qps = qps_for_utilization(DistKind::Bing, m, 0.65);
         let inst = WorkloadSpec::paper_fig2(DistKind::Bing, qps, n_jobs, seed).generate();
         let cfg = SimConfig::new(m).with_free_steals();
+        // Both policies run through one batched lane, so the arena and
+        // worker-state columns grown for steal-16 are recycled for
+        // admit-first (bit-identical to back-to-back `simulate_worksteal`).
+        let specs = [
+            ReplicaSpec::new(cfg.clone(), StealPolicy::StealKFirst { k: 16 }, seed ^ m as u64),
+            ReplicaSpec::new(cfg, StealPolicy::AdmitFirst, seed ^ m as u64),
+        ];
+        let pair = simulate_batched(&inst, &specs, 1);
         ScalingPoint {
             m,
             qps,
             opt_ms: opt_max_flow(&inst, m).to_f64() * to_ms,
-            steal_ms: simulate_worksteal(
-                &inst,
-                &cfg,
-                StealPolicy::StealKFirst { k: 16 },
-                seed ^ m as u64,
-            )
-            .max_flow()
-            .to_f64()
-                * to_ms,
-            admit_ms: simulate_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, seed ^ m as u64)
-                .max_flow()
-                .to_f64()
-                * to_ms,
+            steal_ms: pair[0].max_flow().to_f64() * to_ms,
+            admit_ms: pair[1].max_flow().to_f64() * to_ms,
         }
     })
 }

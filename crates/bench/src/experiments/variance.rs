@@ -8,7 +8,7 @@
 //! (FIFO is seed-independent and serves as the control).
 
 use super::{PAPER_K, PAPER_M};
-use parflow_core::{simulate_fifo, simulate_worksteal, SimConfig, StealPolicy};
+use parflow_core::{simulate_batched, simulate_fifo, ReplicaSpec, SimConfig, StealPolicy};
 use parflow_metrics::Table;
 use parflow_workloads::{DistKind, WorkloadSpec, TICKS_PER_SECOND};
 use serde::{Deserialize, Serialize};
@@ -51,13 +51,26 @@ pub fn run(qps: f64, n_jobs: usize, runs: usize, seed: u64) -> Vec<VariancePoint
     let to_ms = 1000.0 / TICKS_PER_SECOND;
 
     let fifo = simulate_fifo(&inst, &cfg).max_flow().to_f64() * to_ms;
+    // Replicas of one policy differ only by seed, so each thread runs its
+    // chunk through the batched engine with a single lane: one arena (and
+    // all the SoA scratch) is recycled across every replica in the chunk
+    // instead of being re-grown per run, and the schedules stay
+    // bit-identical to per-replica `simulate_worksteal`.
     let collect = |policy: StealPolicy| -> Vec<f64> {
-        super::par_map((0..runs).collect(), |i| {
-            simulate_worksteal(&inst, &cfg, policy, seed ^ (i as u64 + 1))
-                .max_flow()
-                .to_f64()
-                * to_ms
+        let specs: Vec<ReplicaSpec> = (0..runs)
+            .map(|i| ReplicaSpec::new(cfg.clone(), policy, seed ^ (i as u64 + 1)))
+            .collect();
+        let chunk = runs.div_ceil(super::par_threads().max(1)).max(1);
+        let chunks: Vec<Vec<ReplicaSpec>> = specs.chunks(chunk).map(<[_]>::to_vec).collect();
+        super::par_map(chunks, |chunk| {
+            simulate_batched(&inst, &chunk, 1)
+                .into_iter()
+                .map(|r| r.max_flow().to_f64() * to_ms)
+                .collect::<Vec<f64>>()
         })
+        .into_iter()
+        .flatten()
+        .collect()
     };
     vec![
         summarize("FIFO (deterministic)", &[fifo]),

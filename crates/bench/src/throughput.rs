@@ -11,13 +11,24 @@
 
 use crate::experiments::{jobs_per_point, PAPER_K, PAPER_M};
 use parflow_core::{
-    run_priority, run_priority_observed, run_worksteal_observed, simulate_worksteal, Fifo,
-    SimConfig, StealPolicy,
+    run_priority, run_priority_observed, run_worksteal_observed, simulate_batched,
+    simulate_worksteal, Fifo, ReplicaSpec, SimConfig, StealPolicy,
 };
 use parflow_obs::Recorder;
-use parflow_workloads::{DistKind, WorkloadSpec};
+use parflow_workloads::{qps_for_utilization, DistKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Replicas in the batched seed sweep (`batched_ws` series).
+pub const BATCH_B: usize = 8;
+
+/// Steal bound for the batched sweep: unit-step steal-`k`-first is the
+/// configuration whose idle probing spans the batched engine's k-burn
+/// window collapses, so this series is where batching shows up.
+pub const BATCH_SWEEP_K: u32 = 128;
+
+/// Machine size of the `giant_m` probe (bitset idle/victim tracking).
+pub const GIANT_M: usize = 256;
 
 /// Throughput of one engine configuration on the probe instance.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -40,6 +51,10 @@ pub struct EngineThroughput {
     /// recycling should keep this ≈ 0.
     #[serde(default)]
     pub allocs_per_round: Option<f64>,
+    /// Aggregate rounds/sec divided by the sequential engine's rounds/sec
+    /// on the identical replica set. Present only for batched series.
+    #[serde(default)]
+    pub speedup_vs_sequential: Option<f64>,
 }
 
 impl EngineThroughput {
@@ -53,7 +68,13 @@ impl EngineThroughput {
             steal_attempts_per_sec: steal_attempts as f64 / secs,
             allocs,
             allocs_per_round: allocs.map(|a| a as f64 / rounds.max(1) as f64),
+            speedup_vs_sequential: None,
         }
+    }
+
+    fn with_speedup(mut self, sequential_rounds_per_sec: f64) -> Self {
+        self.speedup_vs_sequential = Some(self.rounds_per_sec / sequential_rounds_per_sec.max(1e-9));
+        self
     }
 }
 
@@ -72,6 +93,13 @@ pub struct BenchReport {
     pub ws_admit: EngineThroughput,
     /// Centralized FIFO engine (event-horizon stepping).
     pub centralized_fifo: EngineThroughput,
+    /// Batched engine, `BATCH_B`-replica seed sweep of unit-step
+    /// steal-`BATCH_SWEEP_K`-first; aggregate across replicas, with
+    /// `speedup_vs_sequential` against per-replica `simulate_worksteal`.
+    pub batched_ws: EngineThroughput,
+    /// Batched engine, one replica at m = `GIANT_M` (u64-word bitset
+    /// idle/victim tracking), free-steal steal-16-first at ~65 % load.
+    pub giant_m: EngineThroughput,
     /// Wall-clock seconds of the enclosing `repro` invocation, when the
     /// caller timed one (e.g. `repro all --bench-json`).
     pub repro_wall_seconds: Option<f64>,
@@ -115,13 +143,91 @@ pub fn measure(seed: u64) -> BenchReport {
         .map(|(a, b)| a - b);
     let centralized_fifo = EngineThroughput::new(r.total_rounds, 0, wall, allocs);
 
+    // Batched replica sweep: BATCH_B seeds of the unit-step
+    // steal-BATCH_SWEEP_K config on an admission-bound burst — n short
+    // sequential jobs arriving at once, so between admissions every worker
+    // spends k costly probe rounds (the paper's non-free-steal regime).
+    // Those spans are exactly what the batched engine's k-burn window
+    // collapses. Victim selection is the round-robin scan, whose probe
+    // cursor fast-forwards in closed form (`advance_scan`) — uniform
+    // sampling would put an O(k) per-span RNG-burn floor under the window.
+    // The sequential engine is timed on the identical replica set first,
+    // so `speedup_vs_sequential` is an apples-to-apples aggregate-rounds/s
+    // ratio with bit-identical schedules on both sides.
+    let sweep_inst = {
+        use parflow_dag::{shapes, Instance, Job};
+        use std::sync::Arc;
+        let dag = Arc::new(shapes::single_node(4));
+        Instance::new((0..n as u32).map(|i| Job::new(i, 0, dag.clone())).collect())
+    };
+    let sweep_cfg = SimConfig::new(m).with_victim_scan();
+    let specs: Vec<ReplicaSpec> = (0..BATCH_B as u64)
+        .map(|i| {
+            ReplicaSpec::new(
+                sweep_cfg.clone(),
+                StealPolicy::StealKFirst { k: BATCH_SWEEP_K },
+                seed ^ (i + 1),
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    let mut seq_rounds = 0u64;
+    for s in &specs {
+        seq_rounds += simulate_worksteal(&sweep_inst, &s.config, s.policy, s.seed).total_rounds;
+    }
+    let seq_rps = seq_rounds as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    let a0 = crate::alloc_probe::alloc_count();
+    let t = Instant::now();
+    let rs = simulate_batched(&sweep_inst, &specs, BATCH_B);
+    let wall = t.elapsed().as_secs_f64();
+    let allocs = crate::alloc_probe::alloc_count()
+        .zip(a0)
+        .map(|(a, b)| a - b);
+    let rounds: u64 = rs.iter().map(|r| r.total_rounds).sum();
+    let steals: u64 = rs.iter().map(|r| r.stats.steal_attempts).sum();
+    let batched_ws = EngineThroughput::new(rounds, steals, wall, allocs).with_speedup(seq_rps);
+
+    // Giant-m probe: m = GIANT_M, load scaled to ~65 % utilization so the
+    // machine is neither idle nor drowning. Two identical replicas share
+    // one lane (`batch = 1`); the alloc numbers report only the second,
+    // warm replica's marginal allocations. The first replica's one-time
+    // lane growth (deques, bitset words, calendar buckets, arena slots —
+    // O(m + jobs)) would otherwise swamp the signal, and re-running the
+    // *same* seed makes the marginal count a pure leak detector: every
+    // buffer already sits at its high-water mark, so any allocation the
+    // warm replica performs is per-replica overhead that recycling missed.
+    let giant_qps = qps_for_utilization(DistKind::Bing, GIANT_M, 0.65);
+    let giant_inst = WorkloadSpec::paper_fig2(DistKind::Bing, giant_qps, n, seed).generate();
+    let giant_cfg = SimConfig::new(GIANT_M).with_free_steals();
+    let giant_policy = StealPolicy::StealKFirst { k: PAPER_K };
+    let cold = ReplicaSpec::new(giant_cfg.clone(), giant_policy, seed);
+    let warm = ReplicaSpec::new(giant_cfg, giant_policy, seed);
+    let a0 = crate::alloc_probe::alloc_count();
+    let single = simulate_batched(&giant_inst, std::slice::from_ref(&cold), 1);
+    let a1 = crate::alloc_probe::alloc_count();
+    let t = Instant::now();
+    let rs = simulate_batched(&giant_inst, &[cold, warm], 1);
+    let wall = t.elapsed().as_secs_f64();
+    let a2 = crate::alloc_probe::alloc_count();
+    let cold_allocs = a1.zip(a0).map(|(a, b)| a - b);
+    let warm_allocs = a2.zip(a1).map(|(a, b)| (a - b).saturating_sub(cold_allocs.unwrap_or(0)));
+    debug_assert_eq!(single[0], rs[0]);
+    let warm_rounds = rs[1].total_rounds;
+    let warm_steals = rs[1].stats.steal_attempts;
+    // Wall time covers both replicas in the pair; halve the aggregate by
+    // reporting the warm replica's rounds against half the pair's wall.
+    let giant_m = EngineThroughput::new(warm_rounds, warm_steals, wall / 2.0, warm_allocs);
+
     BenchReport {
-        schema: 1,
+        schema: 2,
         jobs: n,
         m,
         ws_steal16,
         ws_admit,
         centralized_fifo,
+        batched_ws,
+        giant_m,
         repro_wall_seconds: None,
     }
 }
@@ -174,16 +280,21 @@ pub fn to_json(report: &BenchReport) -> String {
             }
             _ => String::new(),
         };
+        let speedup_field = match e.speedup_vs_sequential {
+            Some(s) => format!(",\n    \"speedup_vs_sequential\": {s:.2}"),
+            None => String::new(),
+        };
         format!(
             "  \"{name}\": {{\n    \"rounds\": {},\n    \"steal_attempts\": {},\n    \
              \"wall_seconds\": {:.6},\n    \"rounds_per_sec\": {:.1},\n    \
-             \"steal_attempts_per_sec\": {:.1}{}\n  }}",
+             \"steal_attempts_per_sec\": {:.1}{}{}\n  }}",
             e.rounds,
             e.steal_attempts,
             e.wall_seconds,
             e.rounds_per_sec,
             e.steal_attempts_per_sec,
-            alloc_fields
+            alloc_fields,
+            speedup_field
         )
     }
     let wall = match report.repro_wall_seconds {
@@ -191,7 +302,7 @@ pub fn to_json(report: &BenchReport) -> String {
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"schema\": {},\n  \"jobs\": {},\n  \"m\": {},\n{},\n{},\n{},\n  \
+        "{{\n  \"schema\": {},\n  \"jobs\": {},\n  \"m\": {},\n{},\n{},\n{},\n{},\n{},\n  \
          \"repro_wall_seconds\": {}\n}}\n",
         report.schema,
         report.jobs,
@@ -199,6 +310,8 @@ pub fn to_json(report: &BenchReport) -> String {
         engine("ws_steal16", &report.ws_steal16),
         engine("ws_admit", &report.ws_admit),
         engine("centralized_fifo", &report.centralized_fifo),
+        engine("batched_ws", &report.batched_ws),
+        engine("giant_m", &report.giant_m),
         wall
     )
 }
@@ -218,25 +331,36 @@ mod tests {
         assert!(rep.ws_admit.rounds > 0);
         assert!(rep.centralized_fifo.rounds > 0);
         assert_eq!(rep.centralized_fifo.steal_attempts, 0);
+        // The batched sweep aggregates BATCH_B replicas of one instance:
+        // every replica advances at least as far as the last arrival.
+        assert!(rep.batched_ws.rounds >= BATCH_B as u64);
+        assert!(rep.batched_ws.speedup_vs_sequential.unwrap() > 0.0);
+        assert!(rep.giant_m.rounds > 0);
+        assert!(rep.giant_m.speedup_vs_sequential.is_none());
         let json = to_json(&rep);
         for key in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"ws_steal16\"",
             "\"ws_admit\"",
             "\"centralized_fifo\"",
+            "\"batched_ws\"",
+            "\"giant_m\"",
             "\"rounds_per_sec\"",
+            "\"speedup_vs_sequential\"",
             "\"repro_wall_seconds\": null",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         // Exactly one rounds_per_sec line per engine, in declaration order
         // (scripts/bench_check reads them positionally).
-        assert_eq!(json.matches("\"rounds_per_sec\"").count(), 3);
+        assert_eq!(json.matches("\"rounds_per_sec\"").count(), 5);
+        // Only the batched sweep carries a sequential-baseline ratio.
+        assert_eq!(json.matches("\"speedup_vs_sequential\"").count(), 1);
         // Alloc fields appear exactly when the probe is compiled in
         // (bench_check greps them positionally too).
         if cfg!(feature = "bench-alloc") {
-            assert_eq!(json.matches("\"allocs\":").count(), 3);
-            assert_eq!(json.matches("\"allocs_per_round\":").count(), 3);
+            assert_eq!(json.matches("\"allocs\":").count(), 5);
+            assert_eq!(json.matches("\"allocs_per_round\":").count(), 5);
         } else {
             assert!(!json.contains("\"allocs\""));
         }

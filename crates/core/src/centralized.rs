@@ -124,6 +124,35 @@ pub fn run_priority_observed<P: JobPriority>(
     policy: &P,
     rec: &mut dyn Recorder,
 ) -> (SimResult, Option<ScheduleTrace>) {
+    run_priority_scratch(instance, config, policy, rec, &mut CentralScratch::default())
+}
+
+/// Reusable storage of the centralized engine, shared across the runs of a
+/// [`run_priority_batch`] call: the cursor arena plus every per-run buffer
+/// whose capacity is worth keeping warm. A fresh (default) scratch makes
+/// `run_priority_scratch` exactly `run_priority_observed`.
+#[derive(Default)]
+struct CentralScratch {
+    arena: CursorArena,
+    cursor_ids: Vec<Option<CursorId>>,
+    active: Vec<((u64, u64, u32), JobId)>,
+    outcomes: Vec<Option<JobOutcome>>,
+    started: Vec<Option<Round>>,
+    claimed: Vec<(JobId, NodeId)>,
+    ready_buf: Vec<NodeId>,
+    ready_scratch: Vec<NodeId>,
+}
+
+/// [`run_priority_observed`] over caller-provided scratch storage. The
+/// scratch is reset on entry, so results are independent of what ran in it
+/// before — only buffer capacity carries over.
+fn run_priority_scratch<P: JobPriority>(
+    instance: &Instance,
+    config: &SimConfig,
+    policy: &P,
+    rec: &mut dyn Recorder,
+    scratch: &mut CentralScratch,
+) -> (SimResult, Option<ScheduleTrace>) {
     let jobs = instance.jobs();
     let n = jobs.len();
     let m = config.m;
@@ -132,12 +161,25 @@ pub fn run_priority_observed<P: JobPriority>(
     // Per-job cursor state lives in a recycled arena: a slot is allocated
     // at arrival and released at completion, so the number of slots (and
     // their buffer capacity) is bounded by peak concurrent jobs, not `n`.
-    let mut arena = CursorArena::new();
-    let mut cursor_ids: Vec<Option<CursorId>> = vec![None; n];
+    let CentralScratch {
+        arena,
+        cursor_ids,
+        active,
+        outcomes,
+        started,
+        claimed,
+        ready_buf,
+        ready_scratch,
+    } = scratch;
+    arena.recycle_all();
+    cursor_ids.clear();
+    cursor_ids.resize(n, None);
     // Active jobs as (key, id), kept sorted ascending by key.
-    let mut active: Vec<((u64, u64, u32), JobId)> = Vec::new();
-    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
-    let mut started: Vec<Option<Round>> = vec![None; n];
+    active.clear();
+    outcomes.clear();
+    outcomes.resize(n, None);
+    started.clear();
+    started.resize(n, None);
     let mut stats = EngineStats::default();
     let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
 
@@ -158,11 +200,6 @@ pub fn run_priority_observed<P: JobPriority>(
         + instance.total_work()
         + n as Round
         + 16;
-
-    // Reusable buffers.
-    let mut claimed: Vec<(JobId, NodeId)> = Vec::new();
-    let mut ready_buf: Vec<NodeId> = Vec::new();
-    let mut ready_scratch: Vec<NodeId> = Vec::new();
 
     while completed < n {
         assert!(round <= safety_cap, "centralized engine exceeded round cap");
@@ -238,13 +275,13 @@ pub fn run_priority_observed<P: JobPriority>(
         // whose remaining work equals `delta` complete during the final
         // round of the span, exactly where the reference engine completes
         // them; everything else is released for the next assignment.
-        for &(jid, v) in &claimed {
+        for &(jid, v) in claimed.iter() {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
             let cursor = arena.get_mut(cursor_ids[jid as usize].expect("cursor")); // lint: allow(panicking) invariant: active jobs always own a cursor
             ready_scratch.clear();
             match cursor
-                .execute_units(&job.dag, v, delta, &mut ready_scratch)
+                .execute_units(&job.dag, v, delta, ready_scratch)
                 .expect("claimed node executes") // lint: allow(panicking) invariant: execute targets were claimed this round
             {
                 StepOutcome::InProgress => {
@@ -302,7 +339,7 @@ pub fn run_priority_observed<P: JobPriority>(
     }
 
     let outcomes: Vec<JobOutcome> = outcomes
-        .into_iter()
+        .drain(..)
         .map(|o| o.expect("all jobs completed")) // lint: allow(panicking) invariant: the engine loop exits only after every job completes
         .collect();
     if obs {
@@ -325,6 +362,27 @@ pub fn run_priority_observed<P: JobPriority>(
         fault_events: Vec::new(),
     };
     (result, trace)
+}
+
+/// Run one centralized policy under many configs on the same instance,
+/// reusing a single cursor arena and all assignment scratch buffers across
+/// the runs (the batched counterpart of [`crate::run_batched`] for the
+/// centralized engine).
+///
+/// Each entry of the result is bit-identical to
+/// `run_priority(instance, &configs[i], policy)`: the scratch is reset
+/// between runs, only buffer capacity carries over. Useful for speed /
+/// machine-count sweeps where rebuilding the arena per point dominated.
+pub fn run_priority_batch<P: JobPriority>(
+    instance: &Instance,
+    configs: &[SimConfig],
+    policy: &P,
+) -> Vec<(SimResult, Option<ScheduleTrace>)> {
+    let mut scratch = CentralScratch::default();
+    configs
+        .iter()
+        .map(|cfg| run_priority_scratch(instance, cfg, policy, &mut NullRecorder, &mut scratch))
+        .collect()
 }
 
 /// The original round-by-round engine, kept verbatim as the behavioural
@@ -409,7 +467,7 @@ pub fn run_priority_reference<P: JobPriority>(
         }
         debug_assert!(!claimed.is_empty(), "active jobs must yield ready nodes");
 
-        for &(jid, v) in &claimed {
+        for &(jid, v) in claimed.iter() {
             let job = &jobs[jid as usize];
             started[jid as usize].get_or_insert(round);
             let cursor = cursors[jid as usize].as_mut().expect("cursor"); // lint: allow(panicking) invariant: active jobs always own a cursor

@@ -70,6 +70,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batched;
+mod calendar;
 mod centralized;
 mod config;
 mod dispatch;
@@ -86,8 +88,8 @@ mod worksteal;
 #[cfg(feature = "reference-engine")]
 pub use centralized::run_priority_reference;
 pub use centralized::{
-    run_priority, run_priority_observed, simulate_bwf, simulate_fifo, BiggestWeightFirst, Fifo,
-    JobPriority, Lifo, ShortestJobFirst,
+    run_priority, run_priority_batch, run_priority_observed, simulate_bwf, simulate_fifo,
+    BiggestWeightFirst, Fifo, JobPriority, Lifo, ShortestJobFirst,
 };
 pub use config::{AdmissionOrder, SimConfig, StealAmount, StealCost, VictimStrategy};
 pub use dispatch::{ParseSchedulerError, SchedulerKind};
@@ -107,6 +109,8 @@ pub use opt::{
 };
 pub use result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 pub use trace::{Action, ScheduleTrace, TraceSpan, TraceViolation};
+pub use batched::{run_batched, simulate_batched, ReplicaSpec};
+pub use calendar::CalendarQueue;
 pub use worksteal::{run_worksteal, run_worksteal_observed, simulate_worksteal, StealPolicy};
 
 #[cfg(test)]

@@ -89,7 +89,7 @@ pub struct BacklogSample {
 }
 
 /// The result of simulating one scheduler on one instance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Number of processors used.
     pub m: usize,

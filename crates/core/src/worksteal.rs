@@ -208,7 +208,7 @@ fn any_stealable(workers: &[Worker], blackholed: &[bool]) -> bool {
 /// bits). `gen_range` itself is an opaque cross-crate call on the hot steal
 /// path; this keeps the identical RNG stream at a fraction of the cost.
 #[inline]
-fn gen_uniform_below(rng: &mut SmallRng, bound: usize) -> usize {
+pub(crate) fn gen_uniform_below(rng: &mut SmallRng, bound: usize) -> usize {
     debug_assert!(bound >= 1);
     let range = bound as u64;
     let zone = (range << range.leading_zeros()).wrapping_sub(1);
@@ -230,7 +230,7 @@ fn gen_uniform_below(rng: &mut SmallRng, bound: usize) -> usize {
 /// Callers must have established that every one of these attempts fails
 /// (nothing is stealable), making the victim index itself irrelevant.
 #[inline]
-fn burn_uniform_draws(rng: &mut SmallRng, m: usize, count: u64) {
+pub(crate) fn burn_uniform_draws(rng: &mut SmallRng, m: usize, count: u64) {
     if m <= 1 || count == 0 {
         return;
     }
@@ -261,7 +261,7 @@ fn burn_uniform_draws(rng: &mut SmallRng, m: usize, count: u64) {
 /// of length `m-1` (every residue except `p+1`), so the remaining count is
 /// reduced modulo that cycle instead of iterated.
 #[inline]
-fn advance_scan(start: usize, p: usize, m: usize, count: u64) -> usize {
+pub(crate) fn advance_scan(start: usize, p: usize, m: usize, count: u64) -> usize {
     debug_assert!(m >= 2);
     let step = |s: usize| -> usize {
         let mut v = s % m;
@@ -308,7 +308,7 @@ fn burn_failed_attempts(
 /// Pop the next job to admit according to the admission order: the front
 /// (FIFO) or the largest-weight queued job (distributed BWF; ties go to
 /// the earlier arrival, i.e. the smaller id).
-fn pop_admission(
+pub(crate) fn pop_admission(
     queue: &mut VecDeque<JobId>,
     jobs: &[Job],
     order: AdmissionOrder,

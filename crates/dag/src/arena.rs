@@ -105,6 +105,19 @@ impl CursorArena {
     pub fn free_slots(&self) -> usize {
         self.free.len()
     }
+
+    /// Return every slot to the free list, keeping all buffer capacity.
+    ///
+    /// Bulk reset between independent runs sharing one arena (the batched
+    /// engine recycles a lane's arena across replicas this way). Unlike
+    /// per-slot [`CursorArena::release`], outstanding [`CursorId`]s are
+    /// *all* invalidated — callers must drop theirs first.
+    pub fn recycle_all(&mut self) {
+        self.free.clear();
+        // LIFO free list: push ascending so slot 0 (the longest-lived,
+        // largest-capacity slot in typical runs) is handed out first.
+        self.free.extend((0..self.slots.len() as u32).rev());
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +184,29 @@ mod tests {
         assert_eq!(arena.get(id2).executed_units(), 0);
         assert_eq!(arena.get(id2).remaining_work(1).unwrap(), 2);
         assert!(!arena.get(id2).is_complete());
+    }
+
+    #[test]
+    fn recycle_all_resets_free_list_and_reuses_capacity() {
+        let dag = shapes::single_node(2);
+        let mut arena = CursorArena::new();
+        let a = arena.alloc(&dag);
+        let _b = arena.alloc(&dag);
+        arena.get_mut(a).claim(0).unwrap();
+        arena.release(a);
+        // One live slot, one free slot; recycle_all reclaims both.
+        arena.recycle_all();
+        assert_eq!(arena.free_slots(), 2);
+        assert_eq!(arena.capacity(), 2);
+        // Slot 0 is handed out first and is indistinguishable from fresh.
+        let c = arena.alloc(&dag);
+        assert_eq!(c.index(), 0);
+        let fresh = DagCursor::new(&dag);
+        assert_eq!(arena.get(c).ready_nodes(), fresh.ready_nodes());
+        assert_eq!(arena.get(c).executed_units(), 0);
+        let d = arena.alloc(&dag);
+        assert_eq!(d.index(), 1);
+        assert_eq!(arena.capacity(), 2, "no new slots created");
     }
 
     #[test]

@@ -103,6 +103,24 @@ fn panicking_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn batched_hot_loop_fixture_exact_diagnostics() {
+    // The batched engine's lane loop is L3-scoped in the real lint.toml;
+    // this fixture pins what the rule catches if a panicking call lands in
+    // that hot loop without a reasoned allow.
+    let d = run("panicking", "bad_batched_hot_loop.rs");
+    expect(
+        &d,
+        &[
+            (7, ".unwrap()"),
+            (8, ".expect("),
+            (10, "panic!("),
+            // line 12: reasoned allow naming the invariant — excused;
+            // line 13: `unwrap_or_idle` is a different word — not reported.
+        ],
+    );
+}
+
+#[test]
 fn rng_fixture_exact_diagnostics() {
     let d = run("rng", "bad_rng.rs");
     expect(

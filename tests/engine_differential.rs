@@ -130,3 +130,152 @@ fn single_processor_long_chain_is_bit_identical() {
         assert_identical(&inst, &cfg, &Fifo, "chain-gap");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched-replica engine differentials: `run_batched` steps B independent
+// replicas over shared SoA lanes (calendar queue, bitsets, k-burn windows)
+// and must be bit-identical, replica by replica, to `run_worksteal` — the
+// sequential engine is its behavioural reference, exactly as
+// `run_priority_reference` anchors the centralized fast path.
+// ---------------------------------------------------------------------------
+
+use parflow::core::{run_batched, run_worksteal, ReplicaSpec};
+
+/// A random work-stealing replica spec: config knobs that all interact
+/// with the batched fast paths (steal cost, victim strategy, steal amount,
+/// admission order, sampling cadence, trace recording) plus policy + seed.
+fn arb_replica_spec() -> impl Strategy<Value = ReplicaSpec> {
+    (
+        1usize..6,     // m
+        arb_speed(),
+        0u32..5,       // k (0 = admit-first)
+        any::<bool>(), // free steals
+        any::<bool>(), // round-robin scan victims
+        any::<bool>(), // half steals
+        any::<bool>(), // weighted admission
+        0u64..4,       // sample_every (0 = off)
+        any::<bool>(), // record trace
+        any::<u64>(),  // rng seed
+    )
+        .prop_map(
+            |(m, speed, k, free, scan, half, weighted, sample, traced, seed)| {
+                let mut cfg = SimConfig::new(m).with_speed(speed);
+                if free {
+                    cfg = cfg.with_free_steals();
+                }
+                if scan {
+                    cfg = cfg.with_victim_scan();
+                }
+                if half {
+                    cfg = cfg.with_half_steals();
+                }
+                if weighted {
+                    cfg = cfg.with_weighted_admission();
+                }
+                if sample > 0 {
+                    cfg = cfg.with_sampling(sample);
+                }
+                if traced {
+                    cfg = cfg.with_trace();
+                }
+                let policy = if k == 0 {
+                    StealPolicy::AdmitFirst
+                } else {
+                    StealPolicy::StealKFirst { k }
+                };
+                ReplicaSpec::new(cfg, policy, seed)
+            },
+        )
+}
+
+/// Assert every batched replica matches its sequential run bit-for-bit,
+/// including the trace.
+fn assert_batch_identical(inst: &Instance, specs: &[ReplicaSpec], lanes: usize) {
+    let batched = run_batched(inst, specs, lanes);
+    assert_eq!(batched.len(), specs.len());
+    for (i, (spec, (result, trace))) in specs.iter().zip(&batched).enumerate() {
+        let (want_result, want_trace) = run_worksteal(inst, &spec.config, spec.policy, spec.seed);
+        assert_eq!(*result, want_result, "replica {i} (lanes={lanes}): result");
+        assert_eq!(*trace, want_trace, "replica {i} (lanes={lanes}): trace");
+        if let Some(t) = trace {
+            assert_eq!(t.validate(inst), Ok(()), "replica {i}: trace validity");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_replicas_are_bit_identical_across_lane_counts(
+        inst in arb_instance(),
+        specs in proptest::collection::vec(arb_replica_spec(), 1..8),
+        lanes in prop_oneof![Just(1usize), Just(2usize), Just(7usize)]
+    ) {
+        assert_batch_identical(&inst, &specs, lanes);
+    }
+
+    #[test]
+    fn batched_same_config_seed_sweep_is_bit_identical(
+        inst in arb_instance(), spec in arb_replica_spec(), seed0 in any::<u64>()
+    ) {
+        // The bench drivers' shape: one config, many seeds.
+        let specs: Vec<ReplicaSpec> = (0..7)
+            .map(|i| ReplicaSpec::new(spec.config.clone(), spec.policy, seed0 ^ (i + 1)))
+            .collect();
+        assert_batch_identical(&inst, &specs, 2);
+    }
+}
+
+proptest! {
+    // Giant-m runs are slower per case; fewer cases keep the suite quick.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_giant_m_256_is_bit_identical(
+        inst in arb_instance(), seed in any::<u64>(), k in 0u32..20, traced in any::<bool>()
+    ) {
+        let mut cfg = SimConfig::new(256);
+        if traced {
+            cfg = cfg.with_trace();
+        }
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        assert_batch_identical(&inst, &[ReplicaSpec::new(cfg, policy, seed)], 1);
+    }
+}
+
+/// Satellite regression: the admit-first (`ws_admit`) free-steal
+/// configuration counts `2m` bounded steal attempts per idle worker per
+/// round; the batched path must report per-replica `steal_attempts`
+/// (and every other counter) identical to the sequential engine.
+#[test]
+fn ws_admit_steal_attempts_match_sequential_exactly() {
+    let jobs = vec![
+        Job::new(0, 0, Arc::new(shapes::parallel_for(24, 6))),
+        Job::new(1, 4, Arc::new(shapes::chain(3, 5))),
+        Job::new(2, 4, Arc::new(shapes::single_node(9))),
+        Job::new(3, 90, Arc::new(shapes::fork_join(3, 2))),
+    ];
+    let inst = Instance::new(jobs);
+    let cfg = SimConfig::new(4).with_free_steals();
+    let specs: Vec<ReplicaSpec> = (0..3)
+        .map(|i| ReplicaSpec::new(cfg.clone(), StealPolicy::AdmitFirst, 0x5eed ^ i))
+        .collect();
+    let batched = run_batched(&inst, &specs, 3);
+    for (spec, (result, _)) in specs.iter().zip(&batched) {
+        let (want, _) = run_worksteal(&inst, &spec.config, spec.policy, spec.seed);
+        assert_eq!(
+            result.stats.steal_attempts, want.stats.steal_attempts,
+            "seed {}: steal_attempts", spec.seed
+        );
+        assert_eq!(result.stats, want.stats, "seed {}: stats", spec.seed);
+        assert_eq!(*result, want, "seed {}: full result", spec.seed);
+    }
+    // Pin the absolute value so both engines regressing together still
+    // trips the test (seed 0x5eed, the exact stream the goldens freeze).
+    assert_eq!(batched[0].0.stats.steal_attempts, 354);
+}
