@@ -10,6 +10,10 @@
 //! `backlog`, `lemmas`, `scaling`, `variance`, `steal-amount`,
 //! `weighted-ws`, `fault-resilience`, `serve-soak`, or `all` (default).
 //!
+//! `repro sweep --grid <spec|smoke|phase> --out store.jsonl [--resume]`
+//! runs the mega-sweep harness (cluster → prune → fan-out → aggregate)
+//! instead of the named experiments; see `parflow_bench::sweep`.
+//!
 //! Flags: `--csv DIR` persists every table as CSV; `--list` enumerates
 //! experiment names; `--bench-json PATH` appends an engine-throughput
 //! measurement and writes the [`parflow_bench::throughput::BenchReport`]
@@ -115,6 +119,20 @@ fn run_fig2(dist: DistKind, panel: &str, reporter: &Reporter) {
 fn main() {
     let started = std::time::Instant::now();
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `repro sweep …` is a subcommand with its own flag grammar (boolean
+    // `--resume`, grid specs); dispatch before experiment-name parsing.
+    if raw.first().map(String::as_str) == Some("sweep") {
+        match parflow_bench::sweep::cli_main(&raw[1..]) {
+            Ok(report) => {
+                println!("{report}");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("repro sweep: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     // Extract flags before treating the rest as experiment names.
     let mut args: Vec<String> = Vec::new();
     let mut reporter = Reporter::stdout_only();

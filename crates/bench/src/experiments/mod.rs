@@ -79,8 +79,21 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    par_map_with(par_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count instead of the
+/// `PARFLOW_THREADS` environment lookup. The sweep harness threads its
+/// `--threads` option through here so determinism tests can compare
+/// thread counts within one process without racing on env state.
+pub fn par_map_with<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     let n = items.len();
-    let threads = par_threads().min(n);
+    let threads = threads.max(1).min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }

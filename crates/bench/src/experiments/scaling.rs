@@ -42,7 +42,11 @@ pub fn run(ms: &[usize], n_jobs: usize, seed: u64) -> Vec<ScalingPoint> {
         // worker-state columns grown for steal-16 are recycled for
         // admit-first (bit-identical to back-to-back `simulate_worksteal`).
         let specs = [
-            ReplicaSpec::new(cfg.clone(), StealPolicy::StealKFirst { k: 16 }, seed ^ m as u64),
+            ReplicaSpec::new(
+                cfg.clone(),
+                StealPolicy::StealKFirst { k: 16 },
+                seed ^ m as u64,
+            ),
             ReplicaSpec::new(cfg, StealPolicy::AdmitFirst, seed ^ m as u64),
         ];
         let pair = simulate_batched(&inst, &specs, 1);

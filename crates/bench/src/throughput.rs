@@ -73,7 +73,8 @@ impl EngineThroughput {
     }
 
     fn with_speedup(mut self, sequential_rounds_per_sec: f64) -> Self {
-        self.speedup_vs_sequential = Some(self.rounds_per_sec / sequential_rounds_per_sec.max(1e-9));
+        self.speedup_vs_sequential =
+            Some(self.rounds_per_sec / sequential_rounds_per_sec.max(1e-9));
         self
     }
 }
@@ -211,7 +212,9 @@ pub fn measure(seed: u64) -> BenchReport {
     let wall = t.elapsed().as_secs_f64();
     let a2 = crate::alloc_probe::alloc_count();
     let cold_allocs = a1.zip(a0).map(|(a, b)| a - b);
-    let warm_allocs = a2.zip(a1).map(|(a, b)| (a - b).saturating_sub(cold_allocs.unwrap_or(0)));
+    let warm_allocs = a2
+        .zip(a1)
+        .map(|(a, b)| (a - b).saturating_sub(cold_allocs.unwrap_or(0)));
     debug_assert_eq!(single[0], rs[0]);
     let warm_rounds = rs[1].total_rounds;
     let warm_steals = rs[1].stats.steal_attempts;

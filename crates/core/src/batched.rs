@@ -240,7 +240,10 @@ impl Lane {
     fn start(&mut self, instance: &Instance, spec: &ReplicaSpec) {
         let n = instance.len();
         let m = spec.config.m;
-        debug_assert!(spec.config.faults.is_empty(), "fault replicas are delegated");
+        debug_assert!(
+            spec.config.faults.is_empty(),
+            "fault replicas are delegated"
+        );
         self.cfg = spec.config.clone();
         self.policy = spec.policy;
         self.k = spec.policy.k();
@@ -476,8 +479,8 @@ impl Lane {
                     .get(self.cursor_ids[jid as usize].expect("admitted job")) // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
                     .remaining_work(self.cur_node[p])
                     .expect("current node in range"); // lint: allow(panicking) invariant: cursors only hold nodes of their own DAG
-                // `round + remaining` is invariant while the worker stays on
-                // the node (one unit per round), so the key is exact.
+                                                      // `round + remaining` is invariant while the worker stays on
+                                                      // the node (one unit per round), so the key is exact.
                 self.calendar.push(self.round + rem, p as u32); // lint: allow(truncating-cast) worker index < m, which is far below 2^32
             }
         }
@@ -517,7 +520,10 @@ impl Lane {
         // Quiescent fast-forward (port of the sequential path; no fault
         // boundaries can clamp the jump in batched mode).
         if self.live_admitted == 0 && self.global_queue.is_empty() {
-            debug_assert!(self.next_arrival < n, "deadlock: nothing live, nothing queued");
+            debug_assert!(
+                self.next_arrival < n,
+                "deadlock: nothing live, nothing queued"
+            );
             let target = speed.first_round_at_or_after(jobs[self.next_arrival].arrival);
             debug_assert!(target > self.round, "fast-forward must move time forward");
             let gap = target - self.round;
@@ -666,8 +672,7 @@ impl Lane {
                     StealCost::UnitStep => {
                         for p in 0..m {
                             if self.cur_job[p] == NONE {
-                                self.failed_steals[p] =
-                                    self.failed_steals[p].saturating_add(delta);
+                                self.failed_steals[p] = self.failed_steals[p].saturating_add(delta);
                             }
                         }
                     }
@@ -768,8 +773,7 @@ impl Lane {
                         let admit_now = match self.policy {
                             StealPolicy::AdmitFirst => !self.global_queue.is_empty(),
                             StealPolicy::StealKFirst { k } => {
-                                self.failed_steals[p] >= k as u64
-                                    && !self.global_queue.is_empty()
+                                self.failed_steals[p] >= k as u64 && !self.global_queue.is_empty()
                             }
                         };
                         if admit_now {
@@ -833,11 +837,9 @@ impl Lane {
                                 self.burn_failed(p, self.k as u64);
                             }
                             if self.cur_job[p] == NONE {
-                                if let Some(jid) = pop_admission(
-                                    &mut self.global_queue,
-                                    jobs,
-                                    self.cfg.admission,
-                                ) {
+                                if let Some(jid) =
+                                    pop_admission(&mut self.global_queue, jobs, self.cfg.admission)
+                                {
                                     self.admit(jid, p, jobs);
                                 }
                             }
@@ -898,8 +900,12 @@ pub fn run_batched(
                     next_spec += 1;
                     let spec = &specs[si];
                     if !spec.config.faults.is_empty() {
-                        results[si] =
-                            Some(run_worksteal(instance, &spec.config, spec.policy, spec.seed));
+                        results[si] = Some(run_worksteal(
+                            instance,
+                            &spec.config,
+                            spec.policy,
+                            spec.seed,
+                        ));
                         continue;
                     }
                     lanes[li].start(instance, spec);
@@ -933,7 +939,11 @@ pub fn run_batched(
 }
 
 /// Convenience wrapper returning only the [`SimResult`]s, in spec order.
-pub fn simulate_batched(instance: &Instance, specs: &[ReplicaSpec], batch: usize) -> Vec<SimResult> {
+pub fn simulate_batched(
+    instance: &Instance,
+    specs: &[ReplicaSpec],
+    batch: usize,
+) -> Vec<SimResult> {
     run_batched(instance, specs, batch)
         .into_iter()
         .map(|(r, _)| r)

@@ -124,7 +124,13 @@ pub fn run_priority_observed<P: JobPriority>(
     policy: &P,
     rec: &mut dyn Recorder,
 ) -> (SimResult, Option<ScheduleTrace>) {
-    run_priority_scratch(instance, config, policy, rec, &mut CentralScratch::default())
+    run_priority_scratch(
+        instance,
+        config,
+        policy,
+        rec,
+        &mut CentralScratch::default(),
+    )
 }
 
 /// Reusable storage of the centralized engine, shared across the runs of a

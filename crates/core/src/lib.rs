@@ -85,6 +85,8 @@ mod result;
 mod trace;
 mod worksteal;
 
+pub use batched::{run_batched, simulate_batched, ReplicaSpec};
+pub use calendar::CalendarQueue;
 #[cfg(feature = "reference-engine")]
 pub use centralized::run_priority_reference;
 pub use centralized::{
@@ -109,8 +111,6 @@ pub use opt::{
 };
 pub use result::{BacklogSample, EngineStats, JobOutcome, SimResult};
 pub use trace::{Action, ScheduleTrace, TraceSpan, TraceViolation};
-pub use batched::{run_batched, simulate_batched, ReplicaSpec};
-pub use calendar::CalendarQueue;
 pub use worksteal::{run_worksteal, run_worksteal_observed, simulate_worksteal, StealPolicy};
 
 #[cfg(test)]

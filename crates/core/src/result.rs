@@ -110,6 +110,13 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// All per-job flow times `F_i` in job-id order, for aggregation
+    /// layers (sweep cells, report epilogues) that summarize whole
+    /// distributions rather than just the max.
+    pub fn flows(&self) -> impl Iterator<Item = Rational> + '_ {
+        self.outcomes.iter().map(|o| o.flow)
+    }
+
     /// Maximum flow time `max_i F_i` (the unweighted objective).
     /// Returns zero for empty instances.
     pub fn max_flow(&self) -> Rational {

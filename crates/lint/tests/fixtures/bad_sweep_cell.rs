@@ -1,0 +1,26 @@
+//! Known-bad sweep cell aggregation: the L1/L3 regressions the sweep
+//! scope exists to catch (hash-order stores, panicking cell epilogues).
+
+use std::collections::HashMap;
+
+fn aggregate_cell(samples: &[f64]) -> f64 {
+    let mut by_policy: HashMap<&str, f64> = Default::default();
+    by_policy.insert("admit", 1.0);
+    let sorted = samples.to_vec();
+    let p99 = percentile_sorted(&sorted, 0.99);
+    let max = samples.last().unwrap();
+    let head = samples.first().expect("sweep cells are non-empty");
+    // lint: allow(panicking) invariant: a clustered representative precedes its members in cell-id order
+    let rep = samples.first().unwrap();
+    let p50 = try_percentile_sorted(&sorted, 0.5).unwrap_or(f64::NAN);
+    p99 + max + head + rep + p50
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_stay_exempt() {
+        let v: Vec<f64> = vec![1.0];
+        assert!(v.first().unwrap().is_finite());
+    }
+}

@@ -121,6 +121,41 @@ fn batched_hot_loop_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn sweep_cell_fixture_nondeterminism_diagnostics() {
+    // `crates/bench/src/sweep` is L1-scoped in the real lint.toml; the
+    // sweep store must aggregate through ordered containers only, or the
+    // byte-identity guarantees across thread counts / resume fall apart.
+    let d = run("nondeterminism", "bad_sweep_cell.rs");
+    expect(
+        &d,
+        &[
+            (4, "HashMap"),
+            (7, "HashMap"),
+            // the `#[cfg(test)]` region at the bottom is masked entirely.
+        ],
+    );
+}
+
+#[test]
+fn sweep_cell_fixture_panicking_diagnostics() {
+    // `crates/bench/src/sweep` is L3-scoped in the real lint.toml: empty
+    // and NaN cells are normal sweep outcomes, so cell epilogues must
+    // degrade (try_percentile_sorted / Option) rather than panic.
+    let d = run("panicking", "bad_sweep_cell.rs");
+    expect(
+        &d,
+        &[
+            (10, "percentile_sorted("),
+            (11, ".unwrap()"),
+            (12, ".expect("),
+            // line 14: reasoned allow on line 13 — excused; line 15:
+            // `try_percentile_sorted` / `.unwrap_or(` are different
+            // words — not reported.
+        ],
+    );
+}
+
+#[test]
 fn rng_fixture_exact_diagnostics() {
     let d = run("rng", "bad_rng.rs");
     expect(

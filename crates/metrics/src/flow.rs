@@ -7,11 +7,17 @@ use serde::{Deserialize, Serialize};
 ///
 /// Percentiles use the nearest-rank method on the sorted sample; the
 /// maximum is kept exact (rational), everything else is `f64` because it is
-/// reporting-only.
+/// reporting-only. Samples whose `f64` projection is non-finite (a NaN
+/// flow from a faulted or shed run, an overflow to infinity) are counted
+/// in [`FlowStats::nan`] and excluded from every other field.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FlowStats {
-    /// Sample size.
+    /// Finite sample size (excludes [`FlowStats::nan`]).
     pub count: usize,
+    /// Samples excluded as non-finite, kept out-of-band like the
+    /// histogram's NaN bin so one bad flow cannot poison a whole cell.
+    #[serde(default)]
+    pub nan: usize,
     /// Exact maximum flow (the paper's objective).
     pub max: Rational,
     /// Mean flow.
@@ -27,18 +33,34 @@ pub struct FlowStats {
 }
 
 impl FlowStats {
-    /// Compute statistics from exact flows. Returns `None` for an empty set.
+    /// Compute statistics from exact flows. Returns `None` only when no
+    /// finite samples remain (empty input, or every flow projects to a
+    /// non-finite `f64`); a partially-poisoned sample set degrades to
+    /// statistics over its finite part with the rest counted in `nan`.
     pub fn from_flows(flows: &[Rational]) -> Option<FlowStats> {
-        if flows.is_empty() {
+        let max = flows.iter().copied().max()?;
+        let vals: Vec<f64> = flows.iter().map(|f| f.to_f64()).collect();
+        Self::from_projected(max, &vals)
+    }
+
+    /// Core of [`FlowStats::from_flows`] over the `f64` projections, with
+    /// the exact maximum supplied separately. Public so reporting paths
+    /// that only hold `f64` flows (faulted/shed runs, sweep cells) share
+    /// the same degradation: non-finite samples are counted in `nan` and
+    /// excluded, the sort is total-order, and the result is `None` only
+    /// when no finite samples remain.
+    pub fn from_projected(max: Rational, samples: &[f64]) -> Option<FlowStats> {
+        let mut vals: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let nan = samples.len() - vals.len();
+        if vals.is_empty() {
             return None;
         }
-        let max = flows.iter().copied().max().expect("non-empty");
-        let mut vals: Vec<f64> = flows.iter().map(|f| f.to_f64()).collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("flows are finite"));
+        vals.sort_by(f64::total_cmp);
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let pct = |q: f64| try_percentile_sorted(&vals, q).expect("non-empty, q in range");
+        let pct = |q: f64| try_percentile_sorted(&vals, q).unwrap_or(f64::NAN);
         Some(FlowStats {
             count: vals.len(),
+            nan,
             max,
             mean,
             p50: pct(0.50),
@@ -51,6 +73,58 @@ impl FlowStats {
     /// Max flow in milliseconds given the tick resolution (ticks/second).
     pub fn max_ms(&self, ticks_per_second: f64) -> f64 {
         self.max.to_f64() * 1000.0 / ticks_per_second
+    }
+}
+
+/// Order statistics over raw `f64` samples with non-finite values counted
+/// out-of-band — the non-panicking aggregation path for sweep cells and
+/// any other reporting surface whose inputs are not validated.
+///
+/// `from_samples` never panics: NaN and ±∞ samples are excluded and
+/// counted in [`SampleStats::nonfinite`], and the constructor returns
+/// `None` only when no finite samples remain. An all-NaN or empty cell is
+/// a *normal* outcome (a pruned config, a fully-shed run), not a bug.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Finite samples summarized.
+    pub count: usize,
+    /// Samples excluded as NaN or ±∞.
+    pub nonfinite: usize,
+    /// Minimum finite sample.
+    pub min: f64,
+    /// Maximum finite sample.
+    pub max: f64,
+    /// Mean of finite samples.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl SampleStats {
+    /// Summarize a raw sample slice. `None` iff no finite samples remain.
+    pub fn from_samples(xs: &[f64]) -> Option<SampleStats> {
+        let mut vals: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        let nonfinite = xs.len() - vals.len();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(f64::total_cmp);
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let pct = |q: f64| try_percentile_sorted(&vals, q).unwrap_or(f64::NAN);
+        Some(SampleStats {
+            count: vals.len(),
+            nonfinite,
+            min: vals[0],
+            max: vals[vals.len() - 1],
+            mean,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        })
     }
 }
 
@@ -167,6 +241,46 @@ mod tests {
         assert_eq!(try_percentile_sorted(&v, 0.0), Some(1.0));
         assert_eq!(try_percentile_sorted(&v, 0.5), Some(2.0));
         assert_eq!(try_percentile_sorted(&v, 1.0), Some(3.0));
+    }
+
+    /// Regression for the flow.rs:37 panic family: the sort used
+    /// `partial_cmp(..).expect("flows are finite")`, so a single NaN flow
+    /// from a faulted/shed run panicked the whole driver mid-sweep.
+    /// `from_projected` is the same code path `from_flows` runs; a NaN
+    /// sample must degrade (counted out-of-band), never panic.
+    #[test]
+    fn nan_flow_degrades_instead_of_panicking() {
+        let s = FlowStats::from_projected(r(3), &[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.nan, 1);
+        assert_eq!(s.max, r(3));
+        assert_eq!(s.p50, 1.0);
+        assert_eq!(s.p999, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // No finite samples at all: None, not a panic.
+        assert!(FlowStats::from_projected(r(1), &[f64::NAN, f64::INFINITY]).is_none());
+        // from_flows is unchanged for exact inputs (which are always finite).
+        let via_rational = FlowStats::from_flows(&[r(1), r(3)]).unwrap();
+        assert_eq!(via_rational.nan, 0);
+        assert_eq!(via_rational.count, 2);
+    }
+
+    #[test]
+    fn sample_stats_nan_out_of_band() {
+        let s = SampleStats::from_samples(&[f64::NAN, 2.0, 1.0, f64::INFINITY, 4.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.nonfinite, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert!((s.mean - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stats_empty_and_all_nan_are_none() {
+        assert!(SampleStats::from_samples(&[]).is_none());
+        assert!(SampleStats::from_samples(&[f64::NAN, f64::NAN]).is_none());
+        assert!(SampleStats::from_samples(&[f64::NEG_INFINITY]).is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@ mod histogram;
 mod norms;
 mod table;
 
-pub use flow::{percentile_sorted, ratio_to_bound, try_percentile_sorted, FlowStats};
+pub use flow::{percentile_sorted, ratio_to_bound, try_percentile_sorted, FlowStats, SampleStats};
 pub use histogram::Histogram;
 pub use norms::{lk_norm, max_stretch, stretches};
 pub use table::Table;

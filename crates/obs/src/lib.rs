@@ -382,7 +382,7 @@ impl HistogramSummary {
     /// Summarize a raw sample stream.
     pub fn from_samples(name: &str, xs: &[f64]) -> Self {
         let mut finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
-        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        finite.sort_by(f64::total_cmp);
         let nan = xs.iter().filter(|x| x.is_nan()).count() as u64;
         if finite.is_empty() {
             return HistogramSummary {
@@ -409,7 +409,12 @@ impl HistogramSummary {
         };
         let mut h = Histogram::new(min, hi, SUMMARY_BINS);
         h.extend(finite.iter().copied());
-        let pct = |q: f64| try_percentile_sorted(&finite, q).expect("non-empty");
+        // Degrade, never panic: an all-non-finite sample set takes the
+        // early return above, but a percentile failure here must still
+        // surface as NaN (rendered `null` in the JSON report), not abort
+        // the run — empty cells are normal once a sweep pruner skips
+        // configs.
+        let pct = |q: f64| try_percentile_sorted(&finite, q).unwrap_or(f64::NAN);
         HistogramSummary {
             name: name.to_string(),
             count: finite.len() as u64,
@@ -695,6 +700,30 @@ mod tests {
         let j = r.report().to_json();
         assert!(j.contains("\"g\": null"), "{j}");
         assert!(j.contains("\"nan\": 1"), "{j}");
+        assert!(!j.contains("NaN"), "JSON must not contain NaN literals");
+    }
+
+    /// Regression for the obs/lib.rs:412 panic family: the percentile
+    /// epilogue did `try_percentile_sorted(..).expect("non-empty")`, so a
+    /// distribution whose samples all filter out as non-finite (an empty
+    /// or fully-shed sweep cell) panicked while building the report. It
+    /// must degrade to `null` fields in the JSON instead.
+    #[test]
+    fn all_nonfinite_samples_degrade_to_null_report_fields() {
+        let h = HistogramSummary::from_samples("dead", &[f64::NAN, f64::INFINITY, f64::NAN]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.nan, 2, "nan counts NaN samples; infinities only drop");
+        assert!(h.p50.is_nan() && h.p95.is_nan() && h.p99.is_nan());
+
+        let mut r = AggregatingRecorder::new();
+        r.sample("dead", f64::NAN);
+        r.sample("dead", f64::INFINITY);
+        let j = r.report().to_json();
+        assert!(j.contains("\"name\": \"dead\""), "{j}");
+        assert!(j.contains("\"p50\": null"), "{j}");
+        assert!(j.contains("\"p95\": null"), "{j}");
+        assert!(j.contains("\"p99\": null"), "{j}");
+        assert!(j.contains("\"count\": 0"), "{j}");
         assert!(!j.contains("NaN"), "JSON must not contain NaN literals");
     }
 

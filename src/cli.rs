@@ -56,7 +56,7 @@ impl fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command '{c}'; try simulate|compare|generate|analyze|exec|serve|dot"
+                    "unknown command '{c}'; try simulate|compare|generate|analyze|exec|serve|sweep|dot"
                 )
             }
             CliError::BadFlag(k, v) => write!(f, "bad value '{v}' for --{k}"),
@@ -278,16 +278,32 @@ fn result_summary(
 ) -> (String, Vec<String>, crate::core::SimResult) {
     let r = kind.run(inst, cfg, seed).0;
     let flows: Vec<Rational> = r.outcomes.iter().map(|o| o.flow).collect();
-    let stats = FlowStats::from_flows(&flows).expect("non-empty instance");
-    let opt = opt_max_flow(inst, cfg.m);
-    let row = vec![
-        name.to_string(),
-        format!("{:.1}", stats.max.to_f64()),
-        format!("{:.2}", (stats.max / opt).to_f64()),
-        format!("{:.1}", stats.mean),
-        format!("{:.1}", stats.p99),
-        format!("{:.3}", r.busy_fraction()),
-    ];
+    // An empty instance (or one whose flows all degrade to non-finite)
+    // yields no statistics; report placeholders instead of panicking.
+    let row = match FlowStats::from_flows(&flows) {
+        Some(stats) => {
+            let opt = opt_max_flow(inst, cfg.m);
+            vec![
+                name.to_string(),
+                format!("{:.1}", stats.max.to_f64()),
+                format!("{:.2}", (stats.max / opt).to_f64()),
+                format!("{:.1}", stats.mean),
+                format!("{:.1}", stats.p99),
+                format!("{:.3}", r.busy_fraction()),
+            ]
+        }
+        None => {
+            let dash = "-".to_string();
+            vec![
+                name.to_string(),
+                dash.clone(),
+                dash.clone(),
+                dash.clone(),
+                dash,
+                format!("{:.3}", r.busy_fraction()),
+            ]
+        }
+    };
     (name.to_string(), row, r)
 }
 
@@ -578,6 +594,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         // The streaming admission service has its own flag grammar
         // (boolean flags, subcommands); delegate before Flags::parse.
         return parflow_serve::cli::run(rest).map_err(|e| CliError::Io(e.to_string()));
+    }
+    if cmd == "sweep" {
+        // The mega-sweep harness also has boolean flags (--resume);
+        // delegate before Flags::parse.
+        return parflow_bench::sweep::cli_main(rest).map_err(CliError::Io);
     }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {

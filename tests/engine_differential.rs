@@ -146,7 +146,7 @@ use parflow::core::{run_batched, run_worksteal, ReplicaSpec};
 /// admission order, sampling cadence, trace recording) plus policy + seed.
 fn arb_replica_spec() -> impl Strategy<Value = ReplicaSpec> {
     (
-        1usize..6,     // m
+        1usize..6, // m
         arb_speed(),
         0u32..5,       // k (0 = admit-first)
         any::<bool>(), // free steals
@@ -270,7 +270,8 @@ fn ws_admit_steal_attempts_match_sequential_exactly() {
         let (want, _) = run_worksteal(&inst, &spec.config, spec.policy, spec.seed);
         assert_eq!(
             result.stats.steal_attempts, want.stats.steal_attempts,
-            "seed {}: steal_attempts", spec.seed
+            "seed {}: steal_attempts",
+            spec.seed
         );
         assert_eq!(result.stats, want.stats, "seed {}: stats", spec.seed);
         assert_eq!(*result, want, "seed {}: full result", spec.seed);
