@@ -64,7 +64,8 @@ const EXPERIMENTS: &[&str] = &[
 fn usage_error(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!(
-        "usage: repro [--csv DIR] [--bench-json PATH] [--obs-json PATH] [--list] [EXPERIMENT...]"
+        "usage: repro [--csv DIR] [--bench-json PATH] [--obs-json PATH] [--stream] [--jobs N] \
+         [--list] [EXPERIMENT...]"
     );
     std::process::exit(2);
 }
@@ -138,9 +139,22 @@ fn main() {
     let mut reporter = Reporter::stdout_only();
     let mut bench_json: Option<String> = None;
     let mut obs_json: Option<String> = None;
+    let mut stream_mode = false;
+    let mut jobs_override: Option<u64> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--stream" => {
+                stream_mode = true;
+            }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a count argument"));
+                jobs_override = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--jobs needs a non-negative integer, got `{v}`"))
+                }));
+            }
             "--csv" => {
                 let dir = it
                     .next()
@@ -178,7 +192,13 @@ fn main() {
             _ => args.push(a),
         }
     }
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    // `--stream` with no experiment names runs only the streaming
+    // trajectory (at `--jobs 10000000` the full suite would otherwise ride
+    // along); with names it augments them (serve-soak honors `--jobs`).
+    let stream_only = stream_mode && args.is_empty();
+    let want = |name: &str| {
+        !stream_only && (args.is_empty() || args.iter().any(|a| a == name || a == "all"))
+    };
     let seed = base_seed();
     // One shared recorder behind `--obs-json`; each experiment block opens
     // a drop-guarded phase span, so the report's `phases` section is a
@@ -346,11 +366,12 @@ fn main() {
     if want("serve-soak") {
         let _p = PhaseGuard::begin(obs.as_ref(), "serve-soak");
         banner("Robustness: streaming admission service under sustained QPS (SLO soak)");
-        let pts = serve_soak::run_sized(
-            &serve_soak::default_utils(),
-            seed,
-            jobs_per_point().min(5_000),
-        );
+        // `--jobs` lifts the default cap: the supervisor streams its
+        // source, so a 10M-job soak is wall-time-bound, not memory-bound.
+        let soak_jobs = jobs_override
+            .map(|j| j as usize)
+            .unwrap_or_else(|| jobs_per_point().min(5_000));
+        let pts = serve_soak::run_sized(&serve_soak::default_utils(), seed, soak_jobs);
         reporter
             .emit("serve_soak", &serve_soak::table(&pts))
             .expect("csv write");
@@ -394,6 +415,63 @@ fn main() {
                     .expect("csv write");
             }
             None => println!("empty instance"),
+        }
+    }
+
+    if stream_mode {
+        let _p = PhaseGuard::begin(obs.as_ref(), "stream-trajectory");
+        let jobs = jobs_override.unwrap_or(1_000_000);
+        banner(&format!(
+            "Streaming trajectory (--stream): {jobs} Bing QPS-1000 jobs, O(active) memory"
+        ));
+        let spec = parflow_workloads::WorkloadSpec::paper_fig2(
+            DistKind::Bing,
+            1000.0,
+            jobs_per_point(),
+            seed,
+        );
+        let cfg = parflow_core::SimConfig::new(16).with_free_steals();
+        let t = std::time::Instant::now();
+        let run = parflow_bench::stream::run_stream_ws(
+            &spec,
+            &cfg,
+            parflow_core::StealPolicy::StealKFirst { k: 16 },
+            seed,
+            jobs,
+        )
+        .unwrap_or_else(|e| usage_error(&format!("stream failed: {e}")));
+        let wall = t.elapsed().as_secs_f64();
+        let to_ms = 1000.0 / parflow_workloads::TICKS_PER_SECOND;
+        println!(
+            "streamed {} jobs in {:.1}s ({:.0} jobs/s, {:.2e} rounds/s)",
+            run.summary.jobs,
+            wall,
+            run.summary.jobs as f64 / wall.max(1e-9),
+            run.summary.total_rounds as f64 / wall.max(1e-9),
+        );
+        println!(
+            "max flow {:.1} ms, mean {:.1} ms, ~p99 {:.1} ms ({} NaN excluded)",
+            run.summary.max_flow.to_f64() * to_ms,
+            run.flows.mean().unwrap_or(0.0) * to_ms,
+            run.flows.quantile(0.99).unwrap_or(0.0) * to_ms,
+            run.flows.nan(),
+        );
+        println!(
+            "live OPT bound {:.1} ms -> ratio {:.2}",
+            run.opt.combined_lower_bound().to_f64() * to_ms,
+            run.competitive_ratio().unwrap_or(0.0),
+        );
+        println!(
+            "retirement: {} retired, {} live high-water, {} slab slots \
+             (reuse {:.1}%), {} cursor slots",
+            run.summary.retire.jobs_retired,
+            run.summary.retire.live_jobs_high_water,
+            run.summary.retire.slab_slots,
+            run.summary.retire.slab_reuse_ratio().unwrap_or(0.0) * 100.0,
+            run.summary.retire.cursor_slots,
+        );
+        if let Some(kb) = parflow_bench::stream::peak_rss_kb() {
+            println!("peak RSS {:.1} MB (VmHWM)", kb as f64 / 1024.0);
         }
     }
 

@@ -15,6 +15,7 @@
 //! regardless of the worker fleet executing underneath.
 
 use super::PAPER_M;
+use parflow_core::OptTracker;
 use parflow_metrics::Table;
 use parflow_serve::protocol::Submission;
 use parflow_serve::supervisor::{ServeConfig, Supervisor};
@@ -47,6 +48,15 @@ pub struct SoakPoint {
     pub completed: u64,
     /// Whether max admitted flow met the SLO (must always hold).
     pub slo_ok: bool,
+    /// Incremental OPT lower bound over the **offered** stream, in ms
+    /// (the [`OptTracker`] fed per arrival: squashed-FIFO bound with
+    /// span `⌈work/m⌉`, the floor any m-slot schedule pays). Under
+    /// overload this grows without bound while the admitted max flow
+    /// stays under the SLO — that gap is the value of shedding.
+    pub opt_all_ms: f64,
+    /// `max_flow_ms / opt_all_ms` (0 when the bound is 0). Below 1.0 in
+    /// overload: admitted flows beat what an admit-everything OPT pays.
+    pub flow_vs_opt: f64,
 }
 
 /// Default sweep: comfortable load, saturation, and 2x overload.
@@ -69,8 +79,10 @@ pub fn run_sized(utils: &[f64], seed: u64, n_jobs: usize) -> Vec<SoakPoint> {
         cfg.seed = seed;
         cfg.iters_per_unit = 1;
         let mut sup = Supervisor::new(cfg).expect("soak config is valid");
+        let mut opt = OptTracker::new(PAPER_M);
         for _ in 0..n_jobs {
             let job = source.next_job();
+            opt.on_arrival(job.arrival, job.work, job.work.div_ceil(PAPER_M as u64));
             sup.offer(Submission {
                 id: job.index,
                 arrival: job.arrival,
@@ -87,6 +99,7 @@ pub fn run_sized(utils: &[f64], seed: u64, n_jobs: usize) -> Vec<SoakPoint> {
             .find(|h| h.name == "serve.virtual_flow_ticks");
         let (p99, max) = flows.map(|h| (h.p99, h.max)).unwrap_or((0.0, 0.0));
         let pct = |x: u64| 100.0 * x as f64 / report.submitted.max(1) as f64;
+        let opt_all_ms = opt.combined_lower_bound().to_f64() * to_ms;
         out.push(SoakPoint {
             utilization: util,
             qps,
@@ -98,6 +111,12 @@ pub fn run_sized(utils: &[f64], seed: u64, n_jobs: usize) -> Vec<SoakPoint> {
             max_flow_ms: max * to_ms,
             completed: report.completed,
             slo_ok: max <= SOAK_SLO_TICKS as f64,
+            opt_all_ms,
+            flow_vs_opt: if opt_all_ms > 0.0 {
+                max * to_ms / opt_all_ms
+            } else {
+                0.0
+            },
         });
     }
     out
@@ -113,6 +132,8 @@ pub fn table(points: &[SoakPoint]) -> Table {
         "rej-slo %",
         "p99 flow (ms)",
         "max flow (ms)",
+        "opt-all (ms)",
+        "flow/opt",
         "completed",
         "slo",
     ]);
@@ -125,6 +146,8 @@ pub fn table(points: &[SoakPoint]) -> Table {
             format!("{:.1}", p.rejected_pct),
             format!("{:.1}", p.p99_flow_ms),
             format!("{:.1}", p.max_flow_ms),
+            format!("{:.1}", p.opt_all_ms),
+            format!("{:.2}", p.flow_vs_opt),
             p.completed.to_string(),
             if p.slo_ok { "ok" } else { "VIOLATED" }.to_string(),
         ]);
@@ -145,6 +168,8 @@ mod tests {
         assert_eq!(p.completed, p.admitted);
         assert_eq!(p.shed_pct, 0.0);
         assert!(p.slo_ok);
+        // The live OPT bound covers the whole offered stream.
+        assert!(p.opt_all_ms > 0.0);
     }
 
     #[test]

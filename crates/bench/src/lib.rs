@@ -23,6 +23,7 @@
 pub mod alloc_probe;
 pub mod experiments;
 pub mod report;
+pub mod stream;
 pub mod sweep;
 pub mod throughput;
 

@@ -320,8 +320,8 @@ pub struct CrossoverRow {
 pub fn crossover_rows(cells: &[CellSpec], outcomes: &[Option<CellOutcome>]) -> Vec<CrossoverRow> {
     // (dist, m, eps, util-bits) → policy → (sum, n). Keyed by the util's
     // bit pattern so the BTreeMap ordering is total without float Ord.
-    let mut acc: BTreeMap<(String, usize, String, u64), BTreeMap<String, (f64, u32)>> =
-        BTreeMap::new();
+    type PointKey = (String, usize, String, u64);
+    let mut acc: BTreeMap<PointKey, BTreeMap<String, (f64, u32)>> = BTreeMap::new();
     for (spec, outcome) in cells.iter().zip(outcomes) {
         let Some(max) = outcome.as_ref().and_then(CellOutcome::max_ms) else {
             continue;

@@ -311,6 +311,15 @@ impl SweepGrid {
                     if jobs == 0 {
                         return Err("jobs must be at least 1".to_string());
                     }
+                    // Engines index jobs with u32 ids; past that the
+                    // streaming path returns TooManyJobs mid-run, so a
+                    // grid that can never complete is refused up front.
+                    if jobs as u64 > u32::MAX as u64 {
+                        return Err(format!(
+                            "jobs={jobs} exceeds the engine job-id space (max {})",
+                            u32::MAX
+                        ));
+                    }
                 }
                 "seed" => {
                     base_seed = single(key, &vals)?;

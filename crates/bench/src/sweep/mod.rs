@@ -54,6 +54,14 @@ pub struct SweepOptions {
     pub prune_factor: f64,
     /// SoA lanes per batched engine call.
     pub batch_lanes: usize,
+    /// Stream cells through the O(active)-memory engines instead of
+    /// materializing instances. Enables `jobs` counts that would not fit
+    /// in memory; flow statistics come from the streaming layer (exact
+    /// max/mean, histogram percentiles) and OPT from the incremental
+    /// tracker. The streaming source draws its RNG in a different order
+    /// than `generate()`, so streaming stores are a distinct population —
+    /// the store header is tagged and `--resume` refuses to mix them.
+    pub stream: bool,
 }
 
 impl Default for SweepOptions {
@@ -62,6 +70,7 @@ impl Default for SweepOptions {
             threads: par_threads(),
             prune_factor: 4.0,
             batch_lanes: 8,
+            stream: false,
         }
     }
 }
@@ -188,10 +197,33 @@ fn outcome_of(result: &parflow_core::SimResult, opt_ms: f64) -> CellOutcome {
     CellOutcome::from_flows_ms(&flows_ms, opt_ms)
 }
 
+/// Fold a streaming run into a cell outcome: max and mean are exact,
+/// percentiles are histogram-approximate (one bin width), OPT comes from
+/// the incremental tracker over the same arrivals.
+fn stream_outcome(run: &crate::stream::StreamRun) -> CellOutcome {
+    let to_ms = 1000.0 / TICKS_PER_SECOND;
+    let f = &run.flows;
+    let stats = (f.count() > 0).then(|| parflow_metrics::SampleStats {
+        count: f.count() as usize,
+        nonfinite: f.nan() as usize,
+        min: f.min().unwrap_or(0.0) * to_ms,
+        max: f.max().to_f64() * to_ms,
+        mean: f.mean().unwrap_or(0.0) * to_ms,
+        p50: f.quantile(0.50).unwrap_or(f64::NAN) * to_ms,
+        p95: f.quantile(0.95).unwrap_or(f64::NAN) * to_ms,
+        p99: f.quantile(0.99).unwrap_or(f64::NAN) * to_ms,
+    });
+    CellOutcome {
+        stats,
+        nan: f.nan() as usize,
+        opt_ms: run.opt.combined_lower_bound().to_f64() * to_ms,
+    }
+}
+
 /// Simulate one instance group: generate the instance once, run every
 /// work-stealing cell through a single batched SoA call, and the FIFO
 /// cells through the centralized engine.
-fn run_instance(job: &InstanceJob, batch_lanes: usize) -> Vec<(usize, CellOutcome)> {
+fn run_instance(job: &InstanceJob, batch_lanes: usize, stream: bool) -> Vec<(usize, CellOutcome)> {
     let Some(first) = job.cells.first() else {
         return Vec::new();
     };
@@ -203,6 +235,36 @@ fn run_instance(job: &InstanceJob, batch_lanes: usize) -> Vec<(usize, CellOutcom
         n_jobs: first.jobs,
         seed: first.workload_seed,
     };
+    if stream {
+        // Streaming path: never materialize the instance. Each cell pulls
+        // the spec's endless source through an O(active)-memory engine;
+        // the grid's u32 jobs-axis guard rules out TooManyJobs, sources
+        // are sorted, and no faults are configured, so a stream error can
+        // only mean a broken invariant — it degrades to an empty cell
+        // (counted by `SweepSummary::empty`) instead of panicking.
+        let jobs_n = first.jobs as u64;
+        let mut out: Vec<(usize, CellOutcome)> = Vec::with_capacity(job.cells.len());
+        for cell in &job.cells {
+            let run = match cell.policy.steal_policy() {
+                Some(policy) => {
+                    let cfg = SimConfig::new(cell.m)
+                        .with_free_steals()
+                        .with_speed(cell.speed());
+                    crate::stream::run_stream_ws(&spec, &cfg, policy, cell.engine_seed, jobs_n)
+                }
+                None => {
+                    let cfg = SimConfig::new(cell.m).with_speed(cell.speed());
+                    crate::stream::run_stream_fifo(&spec, &cfg, jobs_n)
+                }
+            };
+            let outcome = match run {
+                Ok(run) => stream_outcome(&run),
+                Err(_) => CellOutcome::from_flows_ms(&[], 0.0),
+            };
+            out.push((cell.id, outcome));
+        }
+        return out;
+    }
     let instance = spec.generate();
     let to_ms = 1000.0 / TICKS_PER_SECOND;
     let opt_ms = opt_max_flow(&instance, first.m).to_f64() * to_ms;
@@ -246,7 +308,15 @@ pub fn run_sweep(
     opts: &SweepOptions,
 ) -> Result<SweepOutcome, String> {
     let cells = grid.cells();
-    let header = header_line(&grid.canonical(), cells.len());
+    // Streaming stores sample a different workload realization (the
+    // streaming source's RNG draw order differs from `generate()`), so
+    // tag the header: `--resume` then refuses to mix the populations.
+    let canonical = if opts.stream {
+        format!("{};stream", grid.canonical())
+    } else {
+        grid.canonical()
+    };
+    let header = header_line(&canonical, cells.len());
     let load = match prior {
         Some(text) => parse_store(text, &header)?,
         None => StoreLoad::default(),
@@ -298,7 +368,8 @@ pub fn run_sweep(
         summary.instances += groups.len();
         let jobs: Vec<InstanceJob> = groups.into_values().collect();
         let lanes = opts.batch_lanes;
-        let results = par_map_with(opts.threads, jobs, |job| run_instance(&job, lanes));
+        let stream = opts.stream;
+        let results = par_map_with(opts.threads, jobs, |job| run_instance(&job, lanes, stream));
         let mut simulated: BTreeMap<usize, CellOutcome> = BTreeMap::new();
         for group in results {
             for (id, outcome) in group {
@@ -410,13 +481,16 @@ pub fn run_sweep(
 
 const USAGE: &str = "usage: sweep [--grid SPEC|smoke|phase] [--out PATH] [--resume]
              [--threads N] [--prune-factor F] [--seeds N] [--jobs N]
-             [--no-table] [--markdown]
+             [--stream] [--no-table] [--markdown]
 
 Runs the cluster -> prune -> fan-out -> aggregate mega-sweep and writes a
 jsonl store (header + one line per grid cell, in cell-id order). With
 --resume, cells already present in --out are reloaded verbatim and only
 the remainder is simulated; a torn trailing line from a crashed run is
-dropped (and counted) automatically.";
+dropped (and counted) automatically. --stream runs every cell through the
+O(active)-memory streaming engines (exact max flow, incremental OPT),
+enabling --jobs counts that would not fit in memory; streaming stores are
+header-tagged and cannot be resumed into materialized ones.";
 
 /// `repro sweep` / `parflow sweep` entry point. Returns the rendered
 /// report (summary + crossover table) for the caller to print.
@@ -441,6 +515,7 @@ pub fn cli_main(args: &[String]) -> Result<String, String> {
             "--grid" => grid_spec = value("--grid")?,
             "--out" => out_path = Some(value("--out")?),
             "--resume" => resume = true,
+            "--stream" => opts.stream = true,
             "--no-table" => table = false,
             "--markdown" => markdown = true,
             "--threads" => {
@@ -481,16 +556,20 @@ pub fn cli_main(args: &[String]) -> Result<String, String> {
         if j == 0 {
             return Err("--jobs must be at least 1".to_string());
         }
+        if j as u64 > u32::MAX as u64 {
+            return Err(format!(
+                "--jobs {j} exceeds the engine job-id space (max {})",
+                u32::MAX
+            ));
+        }
         grid.jobs = j;
     }
     if resume && out_path.is_none() {
         return Err(format!("--resume needs --out\n{USAGE}"));
     }
     let prior = match (&out_path, resume) {
-        (Some(path), true) => match std::fs::read_to_string(path) {
-            Ok(text) => Some(text),
-            Err(_) => None, // no store yet: a resume of nothing is a fresh run
-        },
+        // A missing store reads as None: a resume of nothing is a fresh run.
+        (Some(path), true) => std::fs::read_to_string(path).ok(),
         _ => None,
     };
     let outcome = run_sweep(&grid, prior.as_deref(), &opts)?;
@@ -642,6 +721,92 @@ mod tests {
         }
         // The store still covers every cell.
         assert_eq!(out.store().lines().count(), grid.cell_count() + 1);
+    }
+
+    #[test]
+    fn stream_mode_covers_every_cell_with_live_opt() {
+        let grid = tiny_grid();
+        let opts = SweepOptions {
+            stream: true,
+            ..SweepOptions::default()
+        };
+        let out = run_sweep(&grid, None, &opts).unwrap();
+        assert_eq!(out.records.len(), grid.cell_count());
+        assert!(out.header.contains(";stream"));
+        // Every simulated cell carries streaming stats and a positive
+        // incremental OPT bound.
+        let simulated: Vec<_> = out
+            .records
+            .iter()
+            .filter(|r| r.status == STATUS_SIMULATED)
+            .collect();
+        assert!(!simulated.is_empty());
+        for r in simulated {
+            let o = r.outcome.expect("simulated cells have outcomes");
+            assert!(o.opt_ms > 0.0, "live OPT bound missing: {o:?}");
+            let s = o.stats.expect("streamed flows present");
+            assert!(s.count > 0);
+            // Percentiles are bin upper edges: within one 1 ms bin of the
+            // exact max.
+            assert!(s.max >= s.p99 - 1.0 - 1e-9, "max {} p99 {}", s.max, s.p99);
+        }
+        // Deterministic across thread counts, like the materialized path.
+        let again = run_sweep(
+            &grid,
+            None,
+            &SweepOptions {
+                stream: true,
+                threads: 3,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.store(), again.store());
+    }
+
+    #[test]
+    fn stream_store_cannot_resume_into_materialized_store() {
+        let grid = tiny_grid();
+        let materialized = run_sweep(&grid, None, &SweepOptions::default()).unwrap();
+        let err = run_sweep(
+            &grid,
+            Some(&materialized.store()),
+            &SweepOptions {
+                stream: true,
+                ..SweepOptions::default()
+            },
+        );
+        assert!(err.is_err(), "streaming resume of a materialized store");
+    }
+
+    #[test]
+    fn jobs_axis_is_bounded_by_the_job_id_space() {
+        let too_many = format!(
+            "dist=bing;util=0.5;policy=fifo;m=2;jobs={}",
+            u32::MAX as u64 + 1
+        );
+        let err = SweepGrid::parse(&too_many);
+        assert!(err.is_err());
+        assert!(err.err().unwrap().contains("job-id space"));
+        // The CLI --jobs override hits the same wall.
+        let args: Vec<String> = [
+            "--grid",
+            "dist=bing;util=0.5;policy=fifo;m=2",
+            "--jobs",
+            "4294967296",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = cli_main(&args);
+        assert!(err.is_err());
+        assert!(err.err().unwrap().contains("job-id space"));
+        // The boundary itself is accepted by the parser.
+        let ok = SweepGrid::parse(&format!(
+            "dist=bing;util=0.5;policy=fifo;m=2;jobs={}",
+            u32::MAX
+        ));
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub const BATCH_SWEEP_K: u32 = 128;
 /// Machine size of the `giant_m` probe (bitset idle/victim tracking).
 pub const GIANT_M: usize = 256;
 
+/// The `stream_ws` probe streams this many times the materialized job
+/// count, so slab/cursor slots recycle through many generations.
+pub const STREAM_FACTOR: u64 = 5;
+
 /// Throughput of one engine configuration on the probe instance.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct EngineThroughput {
@@ -79,6 +83,68 @@ impl EngineThroughput {
     }
 }
 
+/// Throughput of the streaming work-stealing engine on the probe spec.
+///
+/// Carries the same positional keys as [`EngineThroughput`] (`rounds`,
+/// `rounds_per_sec`, `allocs`, `allocs_per_round`) so `scripts/bench_check`
+/// can read all six engine series with one grep, plus the stream-specific
+/// jobs/s rate, per-job allocation pressure, and the peak RSS the
+/// O(active)-memory claim is gated on.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StreamThroughput {
+    /// Jobs streamed through the engine.
+    pub jobs: u64,
+    /// Simulated rounds advanced.
+    pub rounds: u64,
+    /// Steal attempts issued.
+    pub steal_attempts: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// `rounds / wall_seconds`.
+    pub rounds_per_sec: f64,
+    /// `jobs / wall_seconds` — the streaming headline number.
+    pub jobs_per_sec: f64,
+    /// Heap allocation events (bench-alloc builds only).
+    #[serde(default)]
+    pub allocs: Option<u64>,
+    /// `allocs / rounds` — held to the same steady-state budget as the
+    /// materialized engines.
+    #[serde(default)]
+    pub allocs_per_round: Option<f64>,
+    /// `allocs / jobs` — retirement must recycle slab and cursor slots, so
+    /// this stays O(1) (DAG-cache misses, samples) rather than O(n).
+    #[serde(default)]
+    pub allocs_per_job: Option<f64>,
+    /// Process peak RSS (`VmHWM`) in kB after the stream, Linux only.
+    #[serde(default)]
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl StreamThroughput {
+    fn new(
+        jobs: u64,
+        rounds: u64,
+        steal_attempts: u64,
+        wall_seconds: f64,
+        allocs: Option<u64>,
+        peak_rss_kb: Option<u64>,
+    ) -> Self {
+        let secs = wall_seconds.max(1e-9);
+        StreamThroughput {
+            jobs,
+            rounds,
+            steal_attempts,
+            wall_seconds,
+            rounds_per_sec: rounds as f64 / secs,
+            jobs_per_sec: jobs as f64 / secs,
+            allocs,
+            allocs_per_round: allocs.map(|a| a as f64 / rounds.max(1) as f64),
+            allocs_per_job: allocs.map(|a| a as f64 / jobs.max(1) as f64),
+            peak_rss_kb,
+        }
+    }
+}
+
 /// The full baseline document written by `repro --bench-json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -101,6 +167,13 @@ pub struct BenchReport {
     /// Batched engine, one replica at m = `GIANT_M` (u64-word bitset
     /// idle/victim tracking), free-steal steal-16-first at ~65 % load.
     pub giant_m: EngineThroughput,
+    /// Streaming work-stealing engine: the probe spec's endless job source
+    /// pulled through `run_worksteal_stream` with slab/arena retirement,
+    /// O(active + m) live memory. Same spec family as `ws_steal16` but a
+    /// different workload realization (the streaming source draws its RNG
+    /// in a different order than `generate()`), so compare rates, not
+    /// rounds.
+    pub stream_ws: StreamThroughput,
     /// Wall-clock seconds of the enclosing `repro` invocation, when the
     /// caller timed one (e.g. `repro all --bench-json`).
     pub repro_wall_seconds: Option<f64>,
@@ -222,8 +295,38 @@ pub fn measure(seed: u64) -> BenchReport {
     // reporting the warm replica's rounds against half the pair's wall.
     let giant_m = EngineThroughput::new(warm_rounds, warm_steals, wall / 2.0, warm_allocs);
 
+    // Streaming probe: the same Bing QPS-1000 spec pulled as an endless
+    // source through the streaming engine. `STREAM_FACTOR`× the
+    // materialized job count exercises steady-state retirement (slab and
+    // cursor slots cycling many times over) without meaningfully moving CI
+    // wall time.
+    let stream_jobs = (n as u64) * STREAM_FACTOR;
+    let stream_spec = WorkloadSpec::paper_fig2(DistKind::Bing, 1000.0, n, seed);
+    let a0 = crate::alloc_probe::alloc_count();
+    let t = Instant::now();
+    let run = crate::stream::run_stream_ws(
+        &stream_spec,
+        &cfg,
+        StealPolicy::StealKFirst { k: PAPER_K },
+        seed,
+        stream_jobs,
+    )
+    .expect("probe spec is fault-free and sorted");
+    let wall = t.elapsed().as_secs_f64();
+    let allocs = crate::alloc_probe::alloc_count()
+        .zip(a0)
+        .map(|(a, b)| a - b);
+    let stream_ws = StreamThroughput::new(
+        stream_jobs,
+        run.summary.total_rounds,
+        run.summary.stats.steal_attempts,
+        wall,
+        allocs,
+        crate::stream::peak_rss_kb(),
+    );
+
     BenchReport {
-        schema: 2,
+        schema: 3,
         jobs: n,
         m,
         ws_steal16,
@@ -231,6 +334,7 @@ pub fn measure(seed: u64) -> BenchReport {
         centralized_fifo,
         batched_ws,
         giant_m,
+        stream_ws,
         repro_wall_seconds: None,
     }
 }
@@ -300,12 +404,38 @@ pub fn to_json(report: &BenchReport) -> String {
             speedup_field
         )
     }
+    fn stream(name: &str, s: &StreamThroughput) -> String {
+        let alloc_fields = match (s.allocs, s.allocs_per_round, s.allocs_per_job) {
+            (Some(a), Some(apr), Some(apj)) => format!(
+                ",\n    \"allocs\": {a},\n    \"allocs_per_round\": {apr:.4},\n    \
+                 \"allocs_per_job\": {apj:.4}"
+            ),
+            _ => String::new(),
+        };
+        let rss_field = match s.peak_rss_kb {
+            Some(kb) => format!(",\n    \"peak_rss_kb\": {kb}"),
+            None => String::new(),
+        };
+        format!(
+            "  \"{name}\": {{\n    \"jobs\": {},\n    \"rounds\": {},\n    \
+             \"steal_attempts\": {},\n    \"wall_seconds\": {:.6},\n    \
+             \"rounds_per_sec\": {:.1},\n    \"jobs_per_sec\": {:.1}{}{}\n  }}",
+            s.jobs,
+            s.rounds,
+            s.steal_attempts,
+            s.wall_seconds,
+            s.rounds_per_sec,
+            s.jobs_per_sec,
+            alloc_fields,
+            rss_field
+        )
+    }
     let wall = match report.repro_wall_seconds {
         Some(w) => format!("{w:.3}"),
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"schema\": {},\n  \"jobs\": {},\n  \"m\": {},\n{},\n{},\n{},\n{},\n{},\n  \
+        "{{\n  \"schema\": {},\n  \"jobs\": {},\n  \"m\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n  \
          \"repro_wall_seconds\": {}\n}}\n",
         report.schema,
         report.jobs,
@@ -315,6 +445,7 @@ pub fn to_json(report: &BenchReport) -> String {
         engine("centralized_fifo", &report.centralized_fifo),
         engine("batched_ws", &report.batched_ws),
         engine("giant_m", &report.giant_m),
+        stream("stream_ws", &report.stream_ws),
         wall
     )
 }
@@ -340,32 +471,45 @@ mod tests {
         assert!(rep.batched_ws.speedup_vs_sequential.unwrap() > 0.0);
         assert!(rep.giant_m.rounds > 0);
         assert!(rep.giant_m.speedup_vs_sequential.is_none());
+        // The streaming probe pulls STREAM_FACTOR× the materialized count.
+        assert_eq!(rep.stream_ws.jobs, rep.jobs as u64 * STREAM_FACTOR);
+        assert!(rep.stream_ws.rounds > 0);
+        assert!(rep.stream_ws.jobs_per_sec > 0.0);
         let json = to_json(&rep);
         for key in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "\"ws_steal16\"",
             "\"ws_admit\"",
             "\"centralized_fifo\"",
             "\"batched_ws\"",
             "\"giant_m\"",
+            "\"stream_ws\"",
             "\"rounds_per_sec\"",
+            "\"jobs_per_sec\"",
             "\"speedup_vs_sequential\"",
             "\"repro_wall_seconds\": null",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         // Exactly one rounds_per_sec line per engine, in declaration order
-        // (scripts/bench_check reads them positionally).
-        assert_eq!(json.matches("\"rounds_per_sec\"").count(), 5);
+        // (scripts/bench_check reads them positionally; stream_ws is last).
+        assert_eq!(json.matches("\"rounds_per_sec\"").count(), 6);
+        // Only the streaming series carries jobs/s.
+        assert_eq!(json.matches("\"jobs_per_sec\"").count(), 1);
         // Only the batched sweep carries a sequential-baseline ratio.
         assert_eq!(json.matches("\"speedup_vs_sequential\"").count(), 1);
         // Alloc fields appear exactly when the probe is compiled in
         // (bench_check greps them positionally too).
         if cfg!(feature = "bench-alloc") {
-            assert_eq!(json.matches("\"allocs\":").count(), 5);
-            assert_eq!(json.matches("\"allocs_per_round\":").count(), 5);
+            assert_eq!(json.matches("\"allocs\":").count(), 6);
+            assert_eq!(json.matches("\"allocs_per_round\":").count(), 6);
+            assert_eq!(json.matches("\"allocs_per_job\":").count(), 1);
         } else {
             assert!(!json.contains("\"allocs\""));
+        }
+        // Peak RSS rides along on Linux (the platform CI gates on).
+        if cfg!(target_os = "linux") {
+            assert!(json.contains("\"peak_rss_kb\""));
         }
     }
 

@@ -19,6 +19,7 @@ fn opts(threads: usize) -> SweepOptions {
         threads,
         prune_factor: 4.0,
         batch_lanes: 4,
+        stream: false,
     }
 }
 

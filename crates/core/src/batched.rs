@@ -686,8 +686,8 @@ impl Lane {
             let mut workers_buf = std::mem::take(&mut self.newly_busy);
             workers_buf.clear();
             self.busy.for_each_set(|p| workers_buf.push(p as u32)); // lint: allow(truncating-cast) worker index < m, which is far below 2^32
-            for wi in 0..workers_buf.len() {
-                let p = workers_buf[wi] as usize;
+            for &w in &workers_buf {
+                let p = w as usize;
                 let jid = self.cur_job[p];
                 let v = self.cur_node[p];
                 let job = &jobs[jid as usize];
@@ -947,6 +947,47 @@ pub fn simulate_batched(
     run_batched(instance, specs, batch)
         .into_iter()
         .map(|(r, _)| r)
+        .collect()
+}
+
+/// Streaming counterpart of [`simulate_batched`]: run every replica over
+/// its own [`JobStream`](crate::JobStream) in O(active + m) memory,
+/// pushing each completed outcome into `sink` tagged with the replica
+/// index.
+///
+/// Lanes hold whole materialized instances, so the SoA interleaving is the
+/// wrong shape for endless streams; replicas instead run sequentially
+/// through the streaming engine — each result is bit-identical to
+/// `run_worksteal(instance, &spec.config, spec.policy, spec.seed)` on the
+/// materialization of that replica's stream (transitively through the
+/// streaming engine's own differential guarantee). `make_stream(i)` builds
+/// replica `i`'s stream; replicas with non-empty fault plans fail with
+/// [`StreamError::FaultsUnsupported`](crate::StreamError::FaultsUnsupported),
+/// like every streaming entry point.
+pub fn simulate_batched_stream<S, F>(
+    mut make_stream: F,
+    specs: &[ReplicaSpec],
+    sink: &mut dyn FnMut(usize, &JobOutcome),
+) -> Result<Vec<crate::StreamSummary>, crate::StreamError>
+where
+    S: crate::JobStream,
+    F: FnMut(usize) -> S,
+{
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut stream = make_stream(i);
+            let mut per_replica = |o: &JobOutcome| sink(i, o);
+            crate::run_worksteal_stream(
+                &mut stream,
+                &spec.config,
+                spec.policy,
+                spec.seed,
+                &mut per_replica,
+            )
+            .map(|(summary, _)| summary)
+        })
         .collect()
 }
 

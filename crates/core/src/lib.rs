@@ -82,10 +82,11 @@ mod interval;
 mod lemmas;
 mod opt;
 mod result;
+mod stream;
 mod trace;
 mod worksteal;
 
-pub use batched::{run_batched, simulate_batched, ReplicaSpec};
+pub use batched::{run_batched, simulate_batched, simulate_batched_stream, ReplicaSpec};
 pub use calendar::CalendarQueue;
 #[cfg(feature = "reference-engine")]
 pub use centralized::run_priority_reference;
@@ -108,8 +109,14 @@ pub use lemmas::{
 };
 pub use opt::{
     combined_lower_bound, opt_flows, opt_max_flow, opt_weighted_lower_bound, span_lower_bound,
+    OptTracker,
 };
 pub use result::{BacklogSample, EngineStats, JobOutcome, SimResult};
+pub use stream::{
+    run_priority_stream, run_priority_stream_observed, run_worksteal_stream,
+    run_worksteal_stream_observed, run_worksteal_stream_with_base, InstanceReplay, JobStream,
+    OptTap, RetirementStats, StreamError, StreamSummary, StreamedJob,
+};
 pub use trace::{Action, ScheduleTrace, TraceSpan, TraceViolation};
 pub use worksteal::{run_worksteal, run_worksteal_observed, simulate_worksteal, StealPolicy};
 

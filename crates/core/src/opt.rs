@@ -13,7 +13,7 @@
 //! their combination, plus the analogous bounds for the weighted objective.
 
 use parflow_dag::Instance;
-use parflow_time::Rational;
+use parflow_time::{Rational, Ticks, Work};
 
 /// Per-job flow times of the paper's simulated-OPT baseline: FIFO on one
 /// unit-speed machine with job sizes `W_i / m`, computed exactly.
@@ -83,6 +83,86 @@ pub fn opt_weighted_lower_bound(instance: &Instance, m: usize) -> Rational {
         })
         .max()
         .unwrap_or(Rational::ZERO)
+}
+
+/// Incremental form of the batch lower bounds: feeds on one arrival at a
+/// time and maintains [`opt_max_flow`], [`span_lower_bound`] and
+/// [`combined_lower_bound`] online, in O(1) state — so streaming runs (and
+/// `parflow-serve`'s admission ledger) get live competitive ratios without
+/// ever materializing the instance.
+///
+/// The recurrence is exactly [`opt_flows`]'s, scaled by `m` to stay in
+/// integers: `c_i·m = max(c_{i-1}·m, r_i·m) + W_i`, `F_i = (c_i·m −
+/// r_i·m)/m`. After feeding the jobs of an arrival-sorted instance in
+/// order, every accessor equals its batch counterpart bit-for-bit (pinned
+/// by `tests/stream_differential.rs`). Arrivals must be non-decreasing,
+/// like an [`Instance`]'s.
+#[derive(Clone, Debug)]
+pub struct OptTracker {
+    m128: i128,
+    completion_x_m: i128,
+    max_flow: Rational,
+    max_span: Work,
+    arrivals: u64,
+    #[cfg(debug_assertions)]
+    last_arrival: Ticks,
+}
+
+impl OptTracker {
+    /// Tracker for an `m`-machine cluster (`m > 0`).
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0);
+        OptTracker {
+            m128: m as i128,
+            completion_x_m: 0,
+            max_flow: Rational::ZERO,
+            max_span: 0,
+            arrivals: 0,
+            #[cfg(debug_assertions)]
+            last_arrival: 0,
+        }
+    }
+
+    /// Feed one arrival (work `W_i`, span `P_i`); returns the job's flow in
+    /// the simulated-OPT baseline — the value [`opt_flows`] would put at
+    /// this index.
+    pub fn on_arrival(&mut self, arrival: Ticks, work: Work, span: Work) -> Rational {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                arrival >= self.last_arrival,
+                "OptTracker arrivals must be non-decreasing"
+            );
+            self.last_arrival = arrival;
+        }
+        let arrival_x_m = arrival as i128 * self.m128;
+        self.completion_x_m = self.completion_x_m.max(arrival_x_m) + work as i128;
+        let flow = Rational::new(self.completion_x_m - arrival_x_m, self.m128);
+        self.max_flow = self.max_flow.max(flow);
+        self.max_span = self.max_span.max(span);
+        self.arrivals += 1;
+        flow
+    }
+
+    /// Jobs fed so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Running [`opt_max_flow`] over the fed prefix.
+    pub fn opt_max_flow(&self) -> Rational {
+        self.max_flow
+    }
+
+    /// Running [`span_lower_bound`] over the fed prefix.
+    pub fn span_lower_bound(&self) -> Rational {
+        Rational::from_int(self.max_span as i128)
+    }
+
+    /// Running [`combined_lower_bound`] over the fed prefix.
+    pub fn combined_lower_bound(&self) -> Rational {
+        self.max_flow.max(self.span_lower_bound())
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +247,33 @@ mod tests {
         let i = Instance::new(jobs);
         // max(10·max(4,2), 1·max(100,50)) = max(40, 100) = 100.
         assert_eq!(opt_weighted_lower_bound(&i, 2), Rational::from_int(100));
+    }
+
+    #[test]
+    fn tracker_matches_batch_after_every_arrival() {
+        let i = inst(&[(0, 6), (1, 2), (5, 4), (5, 9), (30, 1)]);
+        let m = 2;
+        let mut t = OptTracker::new(m);
+        let flows = opt_flows(&i, m);
+        for (idx, job) in i.jobs().iter().enumerate() {
+            let f = t.on_arrival(job.arrival, job.work(), job.span());
+            assert_eq!(f, flows[idx]);
+            // After each arrival the tracker equals the batch bounds over
+            // the prefix instance.
+            let prefix = Instance::new(i.jobs()[..=idx].to_vec());
+            assert_eq!(t.opt_max_flow(), opt_max_flow(&prefix, m));
+            assert_eq!(t.span_lower_bound(), span_lower_bound(&prefix));
+            assert_eq!(t.combined_lower_bound(), combined_lower_bound(&prefix, m));
+        }
+        assert_eq!(t.arrivals(), 5);
+    }
+
+    #[test]
+    fn fresh_tracker_is_zero() {
+        let t = OptTracker::new(4);
+        assert_eq!(t.opt_max_flow(), Rational::ZERO);
+        assert_eq!(t.combined_lower_bound(), Rational::ZERO);
+        assert_eq!(t.arrivals(), 0);
     }
 
     #[test]

@@ -1,0 +1,1551 @@
+//! Streaming engine entry points: O(active)-memory simulation over endless
+//! job streams.
+//!
+//! The materialized entry points ([`crate::run_worksteal`],
+//! [`crate::run_priority`]) demand a fully built [`Instance`] — `Vec<Job>`
+//! plus per-job state slabs and an O(n) outcome vector — so *memory*, not
+//! CPU, caps the horizon at n ≈ 10⁶ jobs. The paper's model, however, is an
+//! online endless arrival stream, and its asymptotic claims (competitive
+//! ratios as n → ∞) need 10⁷-job runs. The entry points here pull jobs one
+//! at a time from a [`JobStream`], keep exactly one job of lookahead, and
+//! retire completed jobs back into a free-listed slab (plus the existing
+//! recycled [`CursorArena`]), so live memory is O(active jobs + m), not
+//! O(n). Completed [`JobOutcome`]s are pushed into a caller-provided sink
+//! instead of being accumulated.
+//!
+//! **Bit identity.** For any materialized instance, running the streaming
+//! engine over [`InstanceReplay`] reproduces the materialized run exactly:
+//! the same RNG stream (victim selection never reads job ids), the same
+//! [`EngineStats`], the same per-job outcomes in completion order, and the
+//! same [`ScheduleTrace`] when recorded. Internally tasks carry slab *slot*
+//! ids instead of job ids; slots are handed out in arrival order from a
+//! LIFO free list, mirroring the arena recycling of the materialized path,
+//! and every job-visible quantity (trace rows, admission tie-breaks,
+//! outcomes) is translated back through the slot's stored job id. The
+//! differential proptests in `tests/stream_differential.rs` pin this down
+//! for every prefix of random instances.
+//!
+//! **Faults are unsupported** on the streaming path ([`StreamError::
+//! FaultsUnsupported`]): crash/stall/panic machinery is inherently bounded
+//! by the fault plan, not the stream, and all of it is a no-op under an
+//! empty plan — which is exactly what the fault-free port here replays.
+
+use crate::centralized::JobPriority;
+use crate::config::{AdmissionOrder, SimConfig, StealCost, VictimStrategy};
+use crate::fault::JobStatus;
+use crate::opt::OptTracker;
+use crate::result::{BacklogSample, EngineStats, JobOutcome};
+use crate::trace::{Action, ScheduleTrace};
+use crate::worksteal::{
+    any_stealable, burn_failed_attempts, steal_into, StealPolicy, Worker, WorkerObs,
+};
+use parflow_dag::{CursorArena, CursorId, Instance, Job, JobDag, JobId, NodeId, StepOutcome};
+use parflow_obs::{NullRecorder, Recorder};
+use parflow_time::{Rational, Round, Speed, Ticks};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One job pulled from a [`JobStream`]: the online metadata the scheduler
+/// learns at release time, minus the dense id (assigned by the engine in
+/// pull order). `weight` must be positive, like [`Job::weighted`]'s.
+#[derive(Clone, Debug)]
+pub struct StreamedJob {
+    /// Release time `r_i` in wall-clock ticks. Streams must be
+    /// non-decreasing in arrival, like [`Instance`]s.
+    pub arrival: Ticks,
+    /// Priority weight `w_i` (1 for unweighted streams).
+    pub weight: u64,
+    /// The job's internal structure. Shared via `Arc` so generators can
+    /// cache structurally identical DAGs across millions of jobs.
+    pub dag: Arc<JobDag>,
+}
+
+/// An online arrival sequence, pulled one job at a time.
+///
+/// The engine keeps exactly one job of lookahead: a job is pulled only
+/// once the previous one has been released into the global queue, so a
+/// stream backed by a live source sees demand-driven pulls and an endless
+/// stream never materializes.
+pub trait JobStream {
+    /// The next job in arrival order, or `None` when the stream ends.
+    fn next_job(&mut self) -> Option<StreamedJob>;
+}
+
+/// Replay of a materialized [`Instance`] as a [`JobStream`] — the bridge
+/// the differential tests use to prove streaming runs bit-identical to
+/// materialized ones.
+#[derive(Clone, Debug)]
+pub struct InstanceReplay<'a> {
+    jobs: &'a [Job],
+    next: usize,
+}
+
+impl<'a> InstanceReplay<'a> {
+    /// Replay every job of `instance` in arrival order.
+    pub fn new(instance: &'a Instance) -> Self {
+        InstanceReplay {
+            jobs: instance.jobs(),
+            next: 0,
+        }
+    }
+
+    /// Replay only the first `n` jobs (arrival order). Because instances
+    /// are arrival-sorted with dense ids, this is exactly the instance
+    /// built from the first `n` jobs.
+    pub fn prefix(instance: &'a Instance, n: usize) -> Self {
+        InstanceReplay {
+            jobs: &instance.jobs()[..n.min(instance.len())],
+            next: 0,
+        }
+    }
+}
+
+impl JobStream for InstanceReplay<'_> {
+    fn next_job(&mut self) -> Option<StreamedJob> {
+        let job = self.jobs.get(self.next)?;
+        self.next += 1;
+        Some(StreamedJob {
+            arrival: job.arrival,
+            weight: job.weight,
+            dag: Arc::clone(&job.dag),
+        })
+    }
+}
+
+/// A [`JobStream`] adapter that feeds every pulled job into an
+/// [`OptTracker`] before handing it to the engine, so the OPT lower bound
+/// and competitive ratio are available live alongside the streaming run.
+#[derive(Clone, Debug)]
+pub struct OptTap<S> {
+    inner: S,
+    opt: OptTracker,
+}
+
+impl<S: JobStream> OptTap<S> {
+    /// Wrap `inner`, tracking OPT bounds for an `m`-machine cluster.
+    pub fn new(inner: S, m: usize) -> Self {
+        OptTap {
+            inner,
+            opt: OptTracker::new(m),
+        }
+    }
+
+    /// The tracker (covers every job pulled so far).
+    pub fn opt(&self) -> &OptTracker {
+        &self.opt
+    }
+
+    /// Unwrap into the inner stream and the tracker.
+    pub fn into_parts(self) -> (S, OptTracker) {
+        (self.inner, self.opt)
+    }
+}
+
+impl<S: JobStream> JobStream for OptTap<S> {
+    fn next_job(&mut self) -> Option<StreamedJob> {
+        let job = self.inner.next_job()?;
+        self.opt
+            .on_arrival(job.arrival, job.dag.total_work(), job.dag.span());
+        Some(job)
+    }
+}
+
+/// Errors surfaced by the streaming entry points.
+///
+/// The materialized engines index jobs with dense `u32` ids and would
+/// silently wrap past `u32::MAX` jobs if anything could materialize that
+/// many; the streaming path is the first one that can, so it checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// The stream produced more jobs than `u32` job ids can index
+    /// (mirrors `parflow_runtime`'s `RuntimeError::TooManyJobs` guard).
+    /// Carries the first id that did not fit.
+    TooManyJobs(u64),
+    /// Job at this pull index arrived before its predecessor; streams
+    /// must be non-decreasing in arrival, like [`Instance`]s.
+    UnsortedArrivals {
+        /// 0-based pull index of the offending job.
+        index: u64,
+    },
+    /// The config carries a non-empty fault plan; fault injection is only
+    /// supported on the materialized path.
+    FaultsUnsupported,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StreamError::TooManyJobs(id) => write!(
+                f,
+                "job stream exceeded u32 id space (job index {id} > {})",
+                u32::MAX
+            ),
+            StreamError::UnsortedArrivals { index } => write!(
+                f,
+                "job stream is not sorted by arrival (job index {index} arrived before its predecessor)"
+            ),
+            StreamError::FaultsUnsupported => {
+                write!(f, "fault plans are not supported on the streaming path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Retirement telemetry of a streaming run: how hard the free-listed slab
+/// and cursor arena were recycled. Kept out of [`EngineStats`] (which
+/// goldens bit-compare against materialized runs) and surfaced both here
+/// and as `ws.stream.*` counters on the obs taxonomy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetirementStats {
+    /// Jobs whose slab slot was recycled after completion.
+    pub jobs_retired: u64,
+    /// High-water mark of simultaneously live (released, not yet retired)
+    /// jobs — the "active" in the O(active + m) memory bound.
+    pub live_jobs_high_water: u64,
+    /// Slab slots ever allocated (== the high-water mark; retirement
+    /// recycles instead of freeing).
+    pub slab_slots: u64,
+    /// Cursor-arena slots ever allocated (bounded by peak admitted jobs).
+    pub cursor_slots: u64,
+}
+
+impl RetirementStats {
+    /// Fraction of job activations served from recycled slots:
+    /// `1 - slab_slots / jobs`, i.e. 0 when every job needed a fresh slot
+    /// and → 1 when the slab reached steady state early. `None` until the
+    /// first job is retired.
+    pub fn slab_reuse_ratio(&self) -> Option<f64> {
+        if self.jobs_retired == 0 {
+            return None;
+        }
+        Some(1.0 - self.slab_slots as f64 / self.jobs_retired as f64)
+    }
+}
+
+/// Result of a streaming run: everything [`crate::SimResult`] carries
+/// except the O(n) outcome vector (outcomes went to the sink) — plus the
+/// running max flow (the paper's objective, tracked exactly) and the
+/// retirement telemetry.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// Number of machines.
+    pub m: usize,
+    /// Machine speed used.
+    pub speed: Speed,
+    /// Rounds until the last job completed.
+    pub total_rounds: Round,
+    /// Jobs pulled from the stream (all completed).
+    pub jobs: u64,
+    /// Engine counters — bit-identical to the materialized run's.
+    pub stats: EngineStats,
+    /// Periodic backlog samples (`config.sample_every`).
+    pub samples: Vec<BacklogSample>,
+    /// Maximum flow time over all completed jobs, in ticks (exact).
+    pub max_flow: Rational,
+    /// Slab/arena recycling telemetry.
+    pub retire: RetirementStats,
+}
+
+/// A live (released, not yet retired) job in the slab. The `Job` keeps the
+/// stream-assigned dense id so admission tie-breaks, priority keys, trace
+/// rows and outcomes are indistinguishable from the materialized run.
+struct Slot {
+    job: Job,
+    cursor: Option<CursorId>,
+    started: Option<Round>,
+}
+
+/// The free-listed job slab: slots recycle LIFO so the live set stays hot
+/// in cache and steady state allocates nothing per job.
+#[derive(Default)]
+struct JobSlab {
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    live: u64,
+    high_water: u64,
+}
+
+impl JobSlab {
+    #[inline]
+    fn alloc(&mut self, slot: Slot) -> u32 {
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        if let Some(sid) = self.free.pop() {
+            self.slots[sid as usize] = Some(slot);
+            sid
+        } else {
+            // Live jobs are bounded by backlog, which blows the round cap
+            // long before it could blow u32 — but check anyway.
+            assert!(
+                self.slots.len() < u32::MAX as usize,
+                "live-job slab exceeded u32 slot space"
+            );
+            self.slots.push(Some(slot));
+            (self.slots.len() - 1) as u32 // lint: allow(truncating-cast) length bounded by the assert above
+        }
+    }
+
+    #[inline]
+    fn get(&self, sid: u32) -> &Slot {
+        self.slots[sid as usize].as_ref().expect("live slot") // lint: allow(panicking) invariant: queued/claimed tasks only reference live slots
+    }
+
+    #[inline]
+    fn get_mut(&mut self, sid: u32) -> &mut Slot {
+        self.slots[sid as usize].as_mut().expect("live slot") // lint: allow(panicking) invariant: queued/claimed tasks only reference live slots
+    }
+
+    /// Retire a completed job: drop its `Job` (and DAG Arc) and push the
+    /// slot onto the free list for the next arrival.
+    #[inline]
+    fn retire(&mut self, sid: u32) -> Slot {
+        let slot = self.slots[sid as usize].take().expect("live slot"); // lint: allow(panicking) invariant: a completing job occupies its slab slot exactly once
+        self.free.push(sid);
+        self.live -= 1;
+        slot
+    }
+}
+
+/// One-job-lookahead pull state shared by the streaming engines: assigns
+/// dense ids in pull order, validates id space and arrival monotonicity,
+/// and maintains the running totals the growing safety cap needs.
+struct Puller<'s, S: JobStream> {
+    stream: &'s mut S,
+    id_base: u64,
+    produced: u64,
+    total_work: u64,
+    last_arrival: Ticks,
+    /// The job pulled but not yet released, with its assigned id.
+    pending: Option<(JobId, StreamedJob)>,
+}
+
+impl<'s, S: JobStream> Puller<'s, S> {
+    fn new(stream: &'s mut S, id_base: u64) -> Result<Self, StreamError> {
+        let mut p = Puller {
+            stream,
+            id_base,
+            produced: 0,
+            total_work: 0,
+            last_arrival: 0,
+            pending: None,
+        };
+        p.advance()?;
+        Ok(p)
+    }
+
+    /// Pull the next job into `pending` (replacing the released one).
+    fn advance(&mut self) -> Result<(), StreamError> {
+        let Some(job) = self.stream.next_job() else {
+            self.pending = None;
+            return Ok(());
+        };
+        let index = self.produced;
+        let id64 = self
+            .id_base
+            .checked_add(index)
+            .ok_or(StreamError::TooManyJobs(u64::MAX))?;
+        if id64 > u32::MAX as u64 {
+            return Err(StreamError::TooManyJobs(id64));
+        }
+        if index > 0 && job.arrival < self.last_arrival {
+            return Err(StreamError::UnsortedArrivals { index });
+        }
+        self.produced += 1;
+        self.total_work += job.dag.total_work();
+        self.last_arrival = job.arrival;
+        self.pending = Some((id64 as u32, job)); // lint: allow(truncating-cast) id64 checked <= u32::MAX just above
+        Ok(())
+    }
+}
+
+/// Simulate work stealing over a [`JobStream`], pushing each completed
+/// job's [`JobOutcome`] into `sink` (in completion order) instead of
+/// accumulating them. Bit-identical to [`crate::run_worksteal`] when the
+/// stream replays a materialized instance — same RNG stream, same
+/// [`EngineStats`], same trace — but with O(active + m) live memory.
+///
+/// `config.faults` must be empty ([`StreamError::FaultsUnsupported`]).
+pub fn run_worksteal_stream<S: JobStream>(
+    stream: &mut S,
+    config: &SimConfig,
+    policy: StealPolicy,
+    seed: u64,
+    sink: &mut dyn FnMut(&JobOutcome),
+) -> Result<(StreamSummary, Option<ScheduleTrace>), StreamError> {
+    run_worksteal_stream_observed(stream, config, policy, seed, sink, &mut NullRecorder)
+}
+
+/// [`run_worksteal_stream`] with a [`Recorder`] attached. Emits the same
+/// `ws.*` / `ws.worker.*` taxonomy as the materialized engine plus
+/// `ws.stream.*` retirement counters; per-job `ws.flow_ticks` samples are
+/// intentionally **not** emitted (the recorder would grow O(n) on a 10M-job
+/// stream — sample from the sink instead).
+pub fn run_worksteal_stream_observed<S: JobStream>(
+    stream: &mut S,
+    config: &SimConfig,
+    policy: StealPolicy,
+    seed: u64,
+    sink: &mut dyn FnMut(&JobOutcome),
+    rec: &mut dyn Recorder,
+) -> Result<(StreamSummary, Option<ScheduleTrace>), StreamError> {
+    run_worksteal_stream_with_base(stream, config, policy, seed, sink, rec, 0)
+}
+
+/// [`run_worksteal_stream_observed`] with job ids starting at `id_base`
+/// instead of 0. Exists so the `TooManyJobs` id-space guard is testable at
+/// the `u32::MAX` boundary without streaming 4 billion jobs first.
+#[doc(hidden)]
+pub fn run_worksteal_stream_with_base<S: JobStream>(
+    stream: &mut S,
+    config: &SimConfig,
+    policy: StealPolicy,
+    seed: u64,
+    sink: &mut dyn FnMut(&JobOutcome),
+    rec: &mut dyn Recorder,
+    id_base: u64,
+) -> Result<(StreamSummary, Option<ScheduleTrace>), StreamError> {
+    let m = config.m;
+    let speed = config.speed;
+    let k = policy.k();
+    if !config.faults.is_empty() {
+        return Err(StreamError::FaultsUnsupported);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut workers: Vec<Worker> = (0..m).map(Worker::new).collect();
+    let mut arena = CursorArena::new();
+    let mut slab = JobSlab::default();
+    // The global FIFO holds slab slot ids; arrival order is preserved, so
+    // FIFO admission pops the oldest job exactly like the materialized
+    // queue of job ids.
+    let mut global_queue: VecDeque<u32> = VecDeque::new();
+    let mut stats = EngineStats::default();
+    let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
+    let mut samples: Vec<BacklogSample> = Vec::new();
+
+    let obs = rec.enabled();
+    let mut wobs: Vec<WorkerObs> = if obs {
+        vec![WorkerObs::default(); m]
+    } else {
+        Vec::new()
+    };
+    // The fault machinery of the materialized engine is a no-op under an
+    // empty plan; only the blackhole mask survives into the shared steal
+    // helpers (all false here).
+    let blackholed: Vec<bool> = vec![false; m];
+
+    let mut puller = Puller::new(stream, id_base)?;
+    let mut released: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut live_admitted = 0usize;
+    let mut round: Round = 0;
+    let mut last_busy_round: Round = 0;
+    let mut max_flow = Rational::ZERO;
+    let mut jobs_retired: u64 = 0;
+
+    // Same bound as the materialized engine, but over the pulled prefix:
+    // every round the engine can reach is justified by jobs already pulled,
+    // so recomputing from the running totals after each pull keeps the
+    // invariant. (Fault-free, so no plan-dependent stretching.)
+    let cap = |last_arrival: Ticks, total_work: u64, produced: u64| -> Round {
+        speed.first_round_at_or_after(last_arrival)
+            + total_work
+            + (k as Round + 2) * (produced + m as Round)
+            + 64
+    };
+    let mut safety_cap: Round = cap(puller.last_arrival, puller.total_work, puller.produced);
+
+    let fast_ok = !config.record_trace;
+
+    // Scratch buffers hoisted out of the hot loop.
+    let mut ready_scratch: Vec<NodeId> = Vec::new();
+    let mut sources_scratch: Vec<NodeId> = Vec::new();
+
+    'rounds: while puller.pending.is_some() || completed < released {
+        assert!(
+            round <= safety_cap,
+            "streaming work-stealing engine exceeded round cap"
+        );
+
+        // Release arrivals into the global FIFO queue, pulling the next
+        // job after each release (one-job lookahead).
+        while let Some((jid, job)) = puller.pending.as_ref() {
+            if !speed.arrived_by_round(job.arrival, round) {
+                break;
+            }
+            let (jid, job) = (*jid, job.clone());
+            let sid = slab.alloc(Slot {
+                job: Job::weighted(jid, job.arrival, job.weight, job.dag),
+                cursor: None,
+                started: None,
+            });
+            global_queue.push_back(sid);
+            released += 1;
+            puller.advance()?;
+            safety_cap = cap(puller.last_arrival, puller.total_work, puller.produced);
+        }
+
+        if config.sample_every > 0 && round.is_multiple_of(config.sample_every) {
+            samples.push(BacklogSample {
+                round,
+                queued: global_queue.len(),
+                live: live_admitted,
+                deque_tasks: workers.iter().map(|w| w.deque.len()).sum::<usize>(),
+            });
+        }
+
+        // Quiescent fast-forward: nothing admitted is live and nothing is
+        // queued — skip to the next arrival.
+        if live_admitted == 0 && global_queue.is_empty() {
+            // `completed == released` here, so the loop condition
+            // guarantees a pending job exists.
+            let (_, job) = puller
+                .pending
+                .as_ref()
+                .expect("deadlock: nothing live, nothing queued"); // lint: allow(panicking) invariant: loop condition guarantees a pending arrival when the backlog is empty
+            let target = speed.first_round_at_or_after(job.arrival);
+            debug_assert!(target > round, "fast-forward must move time forward");
+            let gap = target - round;
+            stats.idle_steps += gap * m as u64;
+            for (p, w) in workers.iter_mut().enumerate() {
+                w.failed_steals = w.failed_steals.saturating_add(gap);
+                if obs {
+                    let o = &mut wobs[p];
+                    o.failed_steal_rounds += gap;
+                    o.idle_steps += gap;
+                    o.max_failed_streak = o.max_failed_streak.max(w.failed_steals);
+                }
+            }
+            if config.sample_every > 0 {
+                let se = config.sample_every;
+                let mut s = (round / se + 1) * se;
+                while s < target {
+                    samples.push(BacklogSample {
+                        round: s,
+                        queued: 0,
+                        live: 0,
+                        deque_tasks: 0,
+                    });
+                    s += se;
+                }
+            }
+            if let Some(t) = trace.as_mut() {
+                t.push_idle_rounds(gap);
+            }
+            round = target;
+            continue;
+        }
+
+        // Event-window fast path — identical to the materialized engine's
+        // (see `run_worksteal_observed` for the full argument), with the
+        // next *pending* arrival capping the span.
+        'window: {
+            if !fast_ok {
+                break 'window;
+            }
+            let arrival_cap = if let Some((_, job)) = puller.pending.as_ref() {
+                speed.first_round_at_or_after(job.arrival) - round
+            } else {
+                u64::MAX
+            };
+            if arrival_cap < 2 {
+                break 'window;
+            }
+            let mut min_rem = u64::MAX;
+            let mut busy = 0usize;
+            let mut deques_empty = true;
+            for w in &workers {
+                if let Some((sid, v)) = w.current {
+                    let cid = slab.get(sid).cursor.expect("admitted job"); // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
+                    let rem = arena
+                        .get(cid)
+                        .remaining_work(v)
+                        .expect("current node in range"); // lint: allow(panicking) invariant: cursors only hold nodes of their own DAG
+                    if rem < 2 {
+                        break 'window;
+                    }
+                    if rem < min_rem {
+                        min_rem = rem;
+                    }
+                    busy += 1;
+                }
+                if !w.deque.is_empty() {
+                    deques_empty = false;
+                }
+            }
+            let eligible = busy > 0 && (busy == m || (global_queue.is_empty() && deques_empty));
+            if eligible {
+                let delta = min_rem.min(arrival_cap);
+                let last = round + delta - 1;
+                if config.sample_every > 0 {
+                    let se = config.sample_every;
+                    let queued = global_queue.len();
+                    let deque_tasks = workers.iter().map(|w| w.deque.len()).sum::<usize>();
+                    let mut s = (round / se + 1) * se;
+                    while s <= last {
+                        samples.push(BacklogSample {
+                            round: s,
+                            queued,
+                            live: live_admitted,
+                            deque_tasks,
+                        });
+                        s += se;
+                    }
+                }
+                if busy < m {
+                    debug_assert!(global_queue.is_empty() && deques_empty);
+                    let per_round: u64 = match config.steal_cost {
+                        StealCost::UnitStep => 1,
+                        StealCost::Free => {
+                            if k == 0 {
+                                2 * m as u64
+                            } else {
+                                k as u64
+                            }
+                        }
+                    };
+                    let idle = (m - busy) as u64;
+                    stats.steal_attempts += delta * per_round * idle;
+                    if obs {
+                        for (p, w) in workers.iter().enumerate() {
+                            if w.current.is_none() {
+                                wobs[p].steal_attempts += delta * per_round;
+                            }
+                        }
+                    }
+                    match config.victim {
+                        VictimStrategy::Uniform => {
+                            crate::worksteal::burn_uniform_draws(
+                                &mut rng,
+                                m,
+                                delta * per_round * idle,
+                            );
+                        }
+                        VictimStrategy::RoundRobinScan => {
+                            for (p, w) in workers.iter_mut().enumerate() {
+                                if w.current.is_none() {
+                                    w.scan_next = crate::worksteal::advance_scan(
+                                        w.scan_next,
+                                        p,
+                                        m,
+                                        delta * per_round,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    match config.steal_cost {
+                        StealCost::UnitStep => {
+                            for (p, w) in workers.iter_mut().enumerate() {
+                                if w.current.is_none() {
+                                    w.failed_steals = w.failed_steals.saturating_add(delta);
+                                    if obs {
+                                        let o = &mut wobs[p];
+                                        o.failed_steal_rounds += delta;
+                                        o.max_failed_streak =
+                                            o.max_failed_streak.max(w.failed_steals);
+                                    }
+                                }
+                            }
+                        }
+                        StealCost::Free => {
+                            stats.idle_steps += delta * idle;
+                            if obs {
+                                for (p, w) in workers.iter().enumerate() {
+                                    if w.current.is_none() {
+                                        wobs[p].idle_steps += delta;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for (p, w) in workers.iter_mut().enumerate() {
+                    let Some((sid, v)) = w.current else {
+                        continue;
+                    };
+                    let cid = slab.get(sid).cursor.expect("admitted job"); // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
+                    stats.work_steps += delta;
+                    if obs {
+                        wobs[p].work_steps += delta;
+                    }
+                    w.failed_steals = 0;
+                    ready_scratch.clear();
+                    let outcome = {
+                        let slot = slab.get(sid);
+                        arena
+                            .get_mut(cid)
+                            .execute_units(&slot.job.dag, v, delta, &mut ready_scratch)
+                            .expect("current node claimed") // lint: allow(panicking) invariant: executed nodes were claimed by this cursor
+                    };
+                    match outcome {
+                        StepOutcome::InProgress => {}
+                        StepOutcome::NodeCompleted { job_completed } => {
+                            w.current = None;
+                            let cursor = arena.get_mut(cid);
+                            for &u in ready_scratch.iter() {
+                                cursor.claim(u).expect("newly ready claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
+                                w.pending.push((sid, u));
+                            }
+                            if job_completed {
+                                arena.release(cid);
+                                let slot = slab.retire(sid);
+                                jobs_retired += 1;
+                                live_admitted -= 1;
+                                completed += 1;
+                                let out = JobOutcome {
+                                    job: slot.job.id,
+                                    arrival: slot.job.arrival,
+                                    weight: slot.job.weight,
+                                    start_round: slot.started.expect("job admitted"), // lint: allow(panicking) invariant: start_round is recorded at admission, before execution
+                                    completion_round: last,
+                                    completion: speed.round_end(last),
+                                    flow: speed.flow_time(slot.job.arrival, last),
+                                    status: JobStatus::Completed,
+                                };
+                                max_flow = max_flow.max(out.flow);
+                                sink(&out);
+                            }
+                        }
+                    }
+                }
+                for w in &mut workers {
+                    for task in w.pending.drain(..) {
+                        w.deque.push_back(task);
+                    }
+                }
+                last_busy_round = last;
+                round += delta;
+                continue 'rounds;
+            }
+        }
+
+        let mut row: Vec<Action> = if config.record_trace {
+            Vec::with_capacity(m)
+        } else {
+            Vec::new()
+        };
+        let mut stealable_cache: Option<bool> = None;
+
+        for p in 0..m {
+            // 1. Acquire work if idle: own deque → (policy) admit/steal.
+            if workers[p].current.is_none() {
+                if let Some(task) = workers[p].deque.pop_back() {
+                    workers[p].current = Some(task);
+                }
+            }
+            if workers[p].current.is_none() {
+                match config.steal_cost {
+                    StealCost::UnitStep => {
+                        let admit_now = match policy {
+                            StealPolicy::AdmitFirst => !global_queue.is_empty(),
+                            StealPolicy::StealKFirst { k } => {
+                                workers[p].failed_steals >= k as u64 && !global_queue.is_empty()
+                            }
+                        };
+                        if admit_now {
+                            let sid =
+                                pop_admission_slot(&mut global_queue, &slab, config.admission)
+                                    .expect("queue non-empty"); // lint: allow(panicking) emptiness checked immediately above
+                            admit_slot(
+                                sid,
+                                p,
+                                &mut slab,
+                                &mut workers,
+                                &mut arena,
+                                &mut sources_scratch,
+                                round,
+                            );
+                            live_admitted += 1;
+                            stats.admissions += 1;
+                            if obs {
+                                wobs[p].admissions += 1;
+                            }
+                            stealable_cache = None;
+                        } else {
+                            stats.steal_attempts += 1;
+                            if obs {
+                                wobs[p].steal_attempts += 1;
+                            }
+                            let stealable = match stealable_cache {
+                                Some(v) => v,
+                                None => {
+                                    let v = any_stealable(&workers, &blackholed);
+                                    stealable_cache = Some(v);
+                                    v
+                                }
+                            };
+                            let hit = if stealable {
+                                steal_into(
+                                    p,
+                                    &mut workers,
+                                    &mut rng,
+                                    config.victim,
+                                    config.steal_amount,
+                                    &blackholed,
+                                )
+                            } else {
+                                burn_failed_attempts(&mut rng, &mut workers, p, config.victim, 1);
+                                false
+                            };
+                            if hit {
+                                stats.successful_steals += 1;
+                                workers[p].failed_steals = 0;
+                                if obs {
+                                    wobs[p].successful_steals += 1;
+                                }
+                                stealable_cache = None;
+                            } else {
+                                workers[p].failed_steals =
+                                    workers[p].failed_steals.saturating_add(1);
+                                if obs {
+                                    let o = &mut wobs[p];
+                                    o.failed_steal_rounds += 1;
+                                    o.max_failed_streak =
+                                        o.max_failed_streak.max(workers[p].failed_steals);
+                                }
+                            }
+                            if config.record_trace {
+                                row.push(Action::Steal { hit });
+                            }
+                            continue;
+                        }
+                    }
+                    StealCost::Free => {
+                        if k == 0 {
+                            if let Some(sid) =
+                                pop_admission_slot(&mut global_queue, &slab, config.admission)
+                            {
+                                admit_slot(
+                                    sid,
+                                    p,
+                                    &mut slab,
+                                    &mut workers,
+                                    &mut arena,
+                                    &mut sources_scratch,
+                                    round,
+                                );
+                                live_admitted += 1;
+                                stats.admissions += 1;
+                                if obs {
+                                    wobs[p].admissions += 1;
+                                }
+                                stealable_cache = None;
+                            } else {
+                                let attempts = 2 * m.max(1) as u32; // lint: allow(truncating-cast) m is the processor count; a 2^32-processor instance is unrepresentable
+                                let stealable = match stealable_cache {
+                                    Some(v) => v,
+                                    None => {
+                                        let v = any_stealable(&workers, &blackholed);
+                                        stealable_cache = Some(v);
+                                        v
+                                    }
+                                };
+                                if stealable {
+                                    for _ in 0..attempts {
+                                        stats.steal_attempts += 1;
+                                        if obs {
+                                            wobs[p].steal_attempts += 1;
+                                        }
+                                        if steal_into(
+                                            p,
+                                            &mut workers,
+                                            &mut rng,
+                                            config.victim,
+                                            config.steal_amount,
+                                            &blackholed,
+                                        ) {
+                                            stats.successful_steals += 1;
+                                            if obs {
+                                                wobs[p].successful_steals += 1;
+                                            }
+                                            stealable_cache = None;
+                                            break;
+                                        }
+                                    }
+                                } else {
+                                    stats.steal_attempts += attempts as u64;
+                                    if obs {
+                                        wobs[p].steal_attempts += attempts as u64;
+                                    }
+                                    burn_failed_attempts(
+                                        &mut rng,
+                                        &mut workers,
+                                        p,
+                                        config.victim,
+                                        attempts as u64,
+                                    );
+                                }
+                            }
+                        } else {
+                            let stealable = match stealable_cache {
+                                Some(v) => v,
+                                None => {
+                                    let v = any_stealable(&workers, &blackholed);
+                                    stealable_cache = Some(v);
+                                    v
+                                }
+                            };
+                            if stealable {
+                                for _ in 0..k {
+                                    stats.steal_attempts += 1;
+                                    if obs {
+                                        wobs[p].steal_attempts += 1;
+                                    }
+                                    if steal_into(
+                                        p,
+                                        &mut workers,
+                                        &mut rng,
+                                        config.victim,
+                                        config.steal_amount,
+                                        &blackholed,
+                                    ) {
+                                        stats.successful_steals += 1;
+                                        if obs {
+                                            wobs[p].successful_steals += 1;
+                                        }
+                                        stealable_cache = None;
+                                        break;
+                                    }
+                                }
+                            } else {
+                                stats.steal_attempts += k as u64;
+                                if obs {
+                                    wobs[p].steal_attempts += k as u64;
+                                }
+                                burn_failed_attempts(
+                                    &mut rng,
+                                    &mut workers,
+                                    p,
+                                    config.victim,
+                                    k as u64,
+                                );
+                            }
+                            if workers[p].current.is_none() {
+                                if let Some(sid) =
+                                    pop_admission_slot(&mut global_queue, &slab, config.admission)
+                                {
+                                    admit_slot(
+                                        sid,
+                                        p,
+                                        &mut slab,
+                                        &mut workers,
+                                        &mut arena,
+                                        &mut sources_scratch,
+                                        round,
+                                    );
+                                    live_admitted += 1;
+                                    stats.admissions += 1;
+                                    if obs {
+                                        wobs[p].admissions += 1;
+                                    }
+                                    stealable_cache = None;
+                                }
+                            }
+                        }
+                        if workers[p].current.is_none() {
+                            stats.idle_steps += 1;
+                            if obs {
+                                wobs[p].idle_steps += 1;
+                            }
+                            if config.record_trace {
+                                row.push(Action::Idle);
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // 2. Execute one unit of the current node.
+            let (sid, v) = workers[p].current.expect("acquired work above"); // lint: allow(panicking) set on the acquisition path immediately above
+            let cid = slab.get(sid).cursor.expect("admitted job"); // lint: allow(panicking) invariant: every admitted job owns an arena cursor until completion
+            let jid = slab.get(sid).job.id;
+            stats.work_steps += 1;
+            if obs {
+                wobs[p].work_steps += 1;
+            }
+            workers[p].failed_steals = 0;
+            ready_scratch.clear();
+            let outcome = {
+                let slot = slab.get(sid);
+                arena
+                    .get_mut(cid)
+                    .execute_unit_into(&slot.job.dag, v, &mut ready_scratch)
+                    .expect("current node claimed") // lint: allow(panicking) invariant: executed nodes were claimed by this cursor
+            };
+            match outcome {
+                StepOutcome::InProgress => {}
+                StepOutcome::NodeCompleted { job_completed } => {
+                    workers[p].current = None;
+                    let cursor = arena.get_mut(cid);
+                    for &u in ready_scratch.iter() {
+                        cursor.claim(u).expect("newly ready claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
+                        workers[p].pending.push((sid, u));
+                    }
+                    if job_completed {
+                        arena.release(cid);
+                        let slot = slab.retire(sid);
+                        jobs_retired += 1;
+                        live_admitted -= 1;
+                        completed += 1;
+                        let out = JobOutcome {
+                            job: slot.job.id,
+                            arrival: slot.job.arrival,
+                            weight: slot.job.weight,
+                            start_round: slot.started.expect("job admitted"), // lint: allow(panicking) invariant: start_round is recorded at admission, before execution
+                            completion_round: round,
+                            completion: speed.round_end(round),
+                            flow: speed.flow_time(slot.job.arrival, round),
+                            status: JobStatus::Completed,
+                        };
+                        max_flow = max_flow.max(out.flow);
+                        sink(&out);
+                    }
+                }
+            }
+            if config.record_trace {
+                row.push(Action::Work { job: jid, node: v });
+            }
+        }
+
+        for w in &mut workers {
+            for task in w.pending.drain(..) {
+                w.deque.push_back(task);
+            }
+        }
+
+        last_busy_round = round;
+        if let Some(t) = trace.as_mut() {
+            t.push_row(row);
+        }
+        round += 1;
+    }
+
+    let retire = RetirementStats {
+        jobs_retired,
+        live_jobs_high_water: slab.high_water,
+        slab_slots: slab.slots.len() as u64,
+        cursor_slots: arena.capacity() as u64,
+    };
+    if obs {
+        for (p, o) in wobs.iter().enumerate() {
+            rec.counter_at("ws.worker.work_steps", p, o.work_steps);
+            rec.counter_at("ws.worker.steal_attempts", p, o.steal_attempts);
+            rec.counter_at("ws.worker.successful_steals", p, o.successful_steals);
+            rec.counter_at("ws.worker.failed_steal_rounds", p, o.failed_steal_rounds);
+            rec.counter_at("ws.worker.admissions", p, o.admissions);
+            rec.counter_at("ws.worker.idle_steps", p, o.idle_steps);
+            rec.counter_at("ws.worker.max_failed_streak", p, o.max_failed_streak);
+        }
+        rec.counter("ws.work_steps", stats.work_steps);
+        rec.counter("ws.steal_attempts", stats.steal_attempts);
+        rec.counter("ws.successful_steals", stats.successful_steals);
+        rec.counter("ws.admissions", stats.admissions);
+        rec.counter("ws.idle_steps", stats.idle_steps);
+        rec.gauge("ws.total_rounds", (last_busy_round + 1) as f64);
+        rec.counter("ws.stream.jobs_retired", retire.jobs_retired);
+        rec.counter(
+            "ws.stream.live_jobs_high_water",
+            retire.live_jobs_high_water,
+        );
+        rec.counter("ws.stream.slab_slots", retire.slab_slots);
+        rec.counter("ws.stream.cursor_slots", retire.cursor_slots);
+        if let Some(r) = retire.slab_reuse_ratio() {
+            rec.gauge("ws.stream.slab_reuse_ratio", r);
+        }
+    }
+    let summary = StreamSummary {
+        m,
+        speed,
+        total_rounds: last_busy_round + 1,
+        jobs: completed,
+        stats,
+        samples,
+        max_flow,
+        retire,
+    };
+    Ok((summary, trace))
+}
+
+/// Pop the next slot to admit: the front (FIFO) or the largest-weight
+/// queued job (ties to the earlier arrival, i.e. the smaller job id) —
+/// the slab-indexed mirror of `worksteal::pop_admission`.
+fn pop_admission_slot(
+    queue: &mut VecDeque<u32>,
+    slab: &JobSlab,
+    order: AdmissionOrder,
+) -> Option<u32> {
+    match order {
+        AdmissionOrder::Fifo => queue.pop_front(),
+        AdmissionOrder::ByWeight => {
+            let best = queue
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &sid)| {
+                    let job = &slab.get(sid).job;
+                    (job.weight, std::cmp::Reverse(job.id))
+                })?
+                .0;
+            queue.remove(best)
+        }
+    }
+}
+
+/// Admit the job in slot `sid` on worker `p`: the slab-indexed mirror of
+/// `worksteal::admit_job`, which additionally records the start round in
+/// the slot (the materialized engine keeps an O(n) `started` vector).
+fn admit_slot(
+    sid: u32,
+    p: usize,
+    slab: &mut JobSlab,
+    workers: &mut [Worker],
+    arena: &mut CursorArena,
+    sources: &mut Vec<NodeId>,
+    round: Round,
+) {
+    let slot = slab.get_mut(sid);
+    let id = arena.alloc(&slot.job.dag);
+    slot.cursor = Some(id);
+    slot.started = Some(round);
+    let cur = arena.get_mut(id);
+    sources.clear();
+    sources.extend_from_slice(cur.ready_nodes());
+    for &s in sources.iter() {
+        cur.claim(s).expect("source ready"); // lint: allow(panicking) invariant: freshly materialized source nodes are unclaimed
+        workers[p].deque.push_back((sid, s));
+    }
+    let task = workers[p].deque.pop_back().expect("pushed sources"); // lint: allow(panicking) a source task was pushed just above; the deque is non-empty
+    workers[p].current = Some(task);
+    workers[p].failed_steals = 0;
+}
+
+/// Simulate a centralized priority scheduler over a [`JobStream`] —
+/// the streaming counterpart of [`crate::run_priority`], bit-identical on
+/// instance replays, O(active + m) live memory. Outcomes go to `sink` in
+/// completion order; `config.faults` must be empty.
+pub fn run_priority_stream<P: JobPriority, S: JobStream>(
+    stream: &mut S,
+    config: &SimConfig,
+    policy: &P,
+    sink: &mut dyn FnMut(&JobOutcome),
+) -> Result<(StreamSummary, Option<ScheduleTrace>), StreamError> {
+    run_priority_stream_observed(stream, config, policy, sink, &mut NullRecorder)
+}
+
+/// [`run_priority_stream`] with a [`Recorder`] attached: emits the same
+/// `central.*` taxonomy as the materialized engine plus `central.stream.*`
+/// retirement counters (no per-job `central.flow_ticks` samples — sample
+/// from the sink).
+pub fn run_priority_stream_observed<P: JobPriority, S: JobStream>(
+    stream: &mut S,
+    config: &SimConfig,
+    policy: &P,
+    sink: &mut dyn FnMut(&JobOutcome),
+    rec: &mut dyn Recorder,
+) -> Result<(StreamSummary, Option<ScheduleTrace>), StreamError> {
+    let m = config.m;
+    let speed = config.speed;
+    if !config.faults.is_empty() {
+        return Err(StreamError::FaultsUnsupported);
+    }
+
+    let mut arena = CursorArena::new();
+    let mut slab = JobSlab::default();
+    // Active jobs as (key, slot id), kept sorted ascending by key; keys
+    // are computed from the slot's `Job` exactly like the materialized
+    // engine's, so the order (and every tie-break) is identical.
+    let mut active: Vec<((u64, u64, u32), u32)> = Vec::new();
+    let mut claimed: Vec<(u32, JobId, NodeId)> = Vec::new();
+    let mut ready_buf: Vec<NodeId> = Vec::new();
+    let mut ready_scratch: Vec<NodeId> = Vec::new();
+    let mut stats = EngineStats::default();
+    let mut trace = config.record_trace.then(|| ScheduleTrace::new(m, speed));
+
+    let obs = rec.enabled();
+    let mut horizons: u64 = 0;
+    let mut quiescent_jumps: u64 = 0;
+
+    let mut puller = Puller::new(stream, 0)?;
+    let mut released: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut round: Round = 0;
+    let mut last_busy_round: Round = 0;
+    let mut max_flow = Rational::ZERO;
+    let mut jobs_retired: u64 = 0;
+
+    let cap = |last_arrival: Ticks, total_work: u64, produced: u64| -> Round {
+        speed.first_round_at_or_after(last_arrival) + total_work + produced + 16
+    };
+    let mut safety_cap: Round = cap(puller.last_arrival, puller.total_work, puller.produced);
+
+    while puller.pending.is_some() || completed < released {
+        assert!(
+            round <= safety_cap,
+            "streaming centralized engine exceeded round cap"
+        );
+
+        // Activate arrivals visible at the start of this round.
+        while let Some((jid, job)) = puller.pending.as_ref() {
+            if !speed.arrived_by_round(job.arrival, round) {
+                break;
+            }
+            let (jid, job) = (*jid, job.clone());
+            let sid = slab.alloc(Slot {
+                job: Job::weighted(jid, job.arrival, job.weight, job.dag),
+                cursor: None,
+                started: None,
+            });
+            {
+                let slot = slab.get_mut(sid);
+                slot.cursor = Some(arena.alloc(&slot.job.dag));
+            }
+            let key = policy.key(&slab.get(sid).job);
+            let pos = active.partition_point(|&(k, _)| k < key);
+            active.insert(pos, (key, sid));
+            released += 1;
+            puller.advance()?;
+            safety_cap = cap(puller.last_arrival, puller.total_work, puller.produced);
+        }
+
+        if active.is_empty() {
+            let (_, job) = puller
+                .pending
+                .as_ref()
+                .expect("no active jobs but none left to arrive"); // lint: allow(panicking) invariant: loop condition guarantees a pending arrival when nothing is active
+            let target = speed.first_round_at_or_after(job.arrival);
+            debug_assert!(target > round);
+            let gap = target - round;
+            stats.idle_steps += gap * m as u64;
+            if obs {
+                quiescent_jumps += 1;
+            }
+            if let Some(t) = trace.as_mut() {
+                t.push_idle_rounds(gap);
+            }
+            round = target;
+            continue;
+        }
+
+        // Assignment phase: walk jobs in priority order, claim ready nodes.
+        claimed.clear();
+        let mut avail = m;
+        for &(_, sid) in active.iter() {
+            if avail == 0 {
+                break;
+            }
+            let slot = slab.get(sid);
+            let jid = slot.job.id;
+            let cid = slot.cursor.expect("active job has cursor"); // lint: allow(panicking) invariant: every active job owns an arena cursor until completion
+            let cursor = arena.get_mut(cid);
+            ready_buf.clear();
+            ready_buf.extend_from_slice(cursor.ready_nodes());
+            ready_buf.sort_unstable();
+            for &v in ready_buf.iter().take(avail) {
+                cursor.claim(v).expect("ready node claimable"); // lint: allow(panicking) invariant: nodes entering the ready set are unclaimed
+                claimed.push((sid, jid, v));
+            }
+            avail -= ready_buf.len().min(avail);
+        }
+        debug_assert!(!claimed.is_empty(), "active jobs must yield ready nodes");
+
+        // Event horizon: the assignment repeats until a claimed node
+        // completes or the pending job arrives, whichever is first.
+        let mut delta: Round = claimed
+            .iter()
+            .map(|&(sid, _, v)| {
+                let cid = slab.get(sid).cursor.expect("cursor"); // lint: allow(panicking) invariant: active jobs always own a cursor
+                arena
+                    .get(cid)
+                    .remaining_work(v)
+                    .expect("claimed node in range") // lint: allow(panicking) invariant: claimed nodes index this job DAG
+            })
+            .min()
+            .expect("claimed non-empty"); // lint: allow(panicking) claim set verified non-empty above
+        if let Some((_, job)) = puller.pending.as_ref() {
+            delta = delta.min(speed.first_round_at_or_after(job.arrival) - round);
+        }
+        debug_assert!(delta >= 1);
+        let last = round + delta - 1;
+
+        for &(sid, _, v) in claimed.iter() {
+            let cid = slab.get(sid).cursor.expect("cursor"); // lint: allow(panicking) invariant: active jobs always own a cursor
+            slab.get_mut(sid).started.get_or_insert(round);
+            ready_scratch.clear();
+            let outcome = {
+                let slot = slab.get(sid);
+                arena
+                    .get_mut(cid)
+                    .execute_units(&slot.job.dag, v, delta, &mut ready_scratch)
+                    .expect("claimed node executes") // lint: allow(panicking) invariant: execute targets were claimed this round
+            };
+            match outcome {
+                StepOutcome::InProgress => {
+                    arena
+                        .get_mut(cid)
+                        .release(v)
+                        .expect("in-progress node releases"); // lint: allow(panicking) invariant: release follows the successful claim above
+                }
+                StepOutcome::NodeCompleted { job_completed } => {
+                    if job_completed {
+                        arena.release(cid);
+                        let pos = active
+                            .iter()
+                            .position(|&(_, s)| s == sid)
+                            .expect("completed job was active"); // lint: allow(panicking) invariant: a completing job sits in the active list exactly once
+                        active.remove(pos);
+                        let slot = slab.retire(sid);
+                        jobs_retired += 1;
+                        completed += 1;
+                        let out = JobOutcome {
+                            job: slot.job.id,
+                            arrival: slot.job.arrival,
+                            weight: slot.job.weight,
+                            start_round: slot.started.expect("job executed"), // lint: allow(panicking) invariant: start_round is recorded before any execution
+                            completion_round: last,
+                            completion: speed.round_end(last),
+                            flow: speed.flow_time(slot.job.arrival, last),
+                            status: JobStatus::Completed,
+                        };
+                        max_flow = max_flow.max(out.flow);
+                        sink(&out);
+                    }
+                }
+            }
+        }
+
+        stats.work_steps += delta * claimed.len() as u64;
+        stats.idle_steps += delta * (m - claimed.len()) as u64;
+        if obs {
+            horizons += 1;
+        }
+        last_busy_round = last;
+
+        if let Some(t) = trace.as_mut() {
+            let mut row: Vec<Action> = claimed
+                .iter()
+                .map(|&(_, job, node)| Action::Work { job, node })
+                .collect();
+            row.resize(m, Action::Idle);
+            for _ in 1..delta {
+                t.push_row(row.clone());
+            }
+            t.push_row(row);
+        }
+
+        round += delta;
+    }
+
+    let retire = RetirementStats {
+        jobs_retired,
+        live_jobs_high_water: slab.high_water,
+        slab_slots: slab.slots.len() as u64,
+        cursor_slots: arena.capacity() as u64,
+    };
+    if obs {
+        rec.counter("central.work_steps", stats.work_steps);
+        rec.counter("central.idle_steps", stats.idle_steps);
+        rec.counter("central.event_horizons", horizons);
+        rec.counter("central.quiescent_jumps", quiescent_jumps);
+        rec.gauge("central.total_rounds", (last_busy_round + 1) as f64);
+        rec.counter("central.stream.jobs_retired", retire.jobs_retired);
+        rec.counter(
+            "central.stream.live_jobs_high_water",
+            retire.live_jobs_high_water,
+        );
+        rec.counter("central.stream.slab_slots", retire.slab_slots);
+        rec.counter("central.stream.cursor_slots", retire.cursor_slots);
+        if let Some(r) = retire.slab_reuse_ratio() {
+            rec.gauge("central.stream.slab_reuse_ratio", r);
+        }
+    }
+    let summary = StreamSummary {
+        m,
+        speed,
+        total_rounds: last_busy_round + 1,
+        jobs: completed,
+        stats,
+        samples: Vec::new(),
+        max_flow,
+        retire,
+    };
+    Ok((summary, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::Fifo;
+    use parflow_dag::shapes;
+
+    fn inst_seq(arrivals_works: &[(u64, u64)]) -> Instance {
+        Instance::new(
+            arrivals_works
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, w))| Job::new(i as u32, a, Arc::new(shapes::single_node(w))))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn replay_matches_materialized_worksteal() {
+        let inst = inst_seq(&[(0, 7), (0, 3), (4, 9), (10, 1), (10, 6)]);
+        let cfg = SimConfig::new(2);
+        let (batch, _) = crate::run_worksteal(&inst, &cfg, StealPolicy::StealKFirst { k: 2 }, 9);
+        let mut outs = Vec::new();
+        let mut replay = InstanceReplay::new(&inst);
+        let (sum, _) = run_worksteal_stream(
+            &mut replay,
+            &cfg,
+            StealPolicy::StealKFirst { k: 2 },
+            9,
+            &mut |o| outs.push(o.clone()),
+        )
+        .expect("streams cleanly");
+        assert_eq!(sum.stats, batch.stats);
+        assert_eq!(sum.total_rounds, batch.total_rounds);
+        assert_eq!(sum.max_flow, batch.max_flow());
+        assert_eq!(sum.jobs, inst.len() as u64);
+        // Outcomes arrive in completion order; compare as sets keyed by id.
+        outs.sort_by_key(|o| o.job);
+        assert_eq!(outs, batch.outcomes);
+    }
+
+    #[test]
+    fn replay_matches_materialized_centralized() {
+        let inst = inst_seq(&[(0, 5), (2, 2), (2, 8), (9, 4)]);
+        let cfg = SimConfig::new(3);
+        let (batch, _) = crate::run_priority(&inst, &cfg, &Fifo);
+        let mut outs = Vec::new();
+        let mut replay = InstanceReplay::new(&inst);
+        let (sum, _) = run_priority_stream(&mut replay, &cfg, &Fifo, &mut |o| outs.push(o.clone()))
+            .expect("streams cleanly");
+        assert_eq!(sum.stats, batch.stats);
+        assert_eq!(sum.total_rounds, batch.total_rounds);
+        assert_eq!(sum.max_flow, batch.max_flow());
+        outs.sort_by_key(|o| o.job);
+        assert_eq!(outs, batch.outcomes);
+    }
+
+    #[test]
+    fn empty_stream_is_one_idle_round() {
+        let inst = Instance::new(Vec::new());
+        let mut replay = InstanceReplay::new(&inst);
+        let (sum, _) = run_worksteal_stream(
+            &mut replay,
+            &SimConfig::new(2),
+            StealPolicy::AdmitFirst,
+            1,
+            &mut |_| {},
+        )
+        .expect("empty stream is fine");
+        assert_eq!(sum.total_rounds, 1);
+        assert_eq!(sum.jobs, 0);
+        assert_eq!(sum.max_flow, Rational::ZERO);
+        assert_eq!(sum.retire, RetirementStats::default());
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        // Jobs spaced far apart: at most one is ever live, so the slab
+        // should end with exactly one slot regardless of job count.
+        let inst = inst_seq(&[(0, 3), (100, 3), (200, 3), (300, 3)]);
+        let mut replay = InstanceReplay::new(&inst);
+        let (sum, _) = run_worksteal_stream(
+            &mut replay,
+            &SimConfig::new(2),
+            StealPolicy::AdmitFirst,
+            5,
+            &mut |_| {},
+        )
+        .expect("streams cleanly");
+        assert_eq!(sum.retire.jobs_retired, 4);
+        assert_eq!(sum.retire.live_jobs_high_water, 1);
+        assert_eq!(sum.retire.slab_slots, 1);
+        assert_eq!(sum.retire.cursor_slots, 1);
+        assert_eq!(sum.retire.slab_reuse_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn too_many_jobs_is_checked_at_the_boundary() {
+        // Stream 5 jobs with ids starting 3 below u32::MAX: the 4th pull
+        // would need id 2^32 and must fail before any materialization.
+        let inst = inst_seq(&[(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)]);
+        let mut replay = InstanceReplay::new(&inst);
+        let err = run_worksteal_stream_with_base(
+            &mut replay,
+            &SimConfig::new(1),
+            StealPolicy::AdmitFirst,
+            1,
+            &mut |_| {},
+            &mut NullRecorder,
+            u32::MAX as u64 - 2,
+        )
+        .expect_err("id space must overflow");
+        assert_eq!(err, StreamError::TooManyJobs(u32::MAX as u64 + 1));
+    }
+
+    #[test]
+    fn unsorted_stream_is_rejected() {
+        struct Unsorted(u32);
+        impl JobStream for Unsorted {
+            fn next_job(&mut self) -> Option<StreamedJob> {
+                self.0 += 1;
+                (self.0 <= 2).then(|| StreamedJob {
+                    arrival: if self.0 == 1 { 10 } else { 5 },
+                    weight: 1,
+                    dag: Arc::new(shapes::single_node(1)),
+                })
+            }
+        }
+        let err = run_worksteal_stream(
+            &mut Unsorted(0),
+            &SimConfig::new(1),
+            StealPolicy::AdmitFirst,
+            1,
+            &mut |_| {},
+        )
+        .expect_err("unsorted arrivals must be rejected");
+        assert_eq!(err, StreamError::UnsortedArrivals { index: 1 });
+    }
+
+    #[test]
+    fn faulty_config_is_rejected() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan {
+            panic_ppm: 1,
+            ..Default::default()
+        };
+        let cfg = SimConfig::new(2).with_faults(plan);
+        let inst = inst_seq(&[(0, 1)]);
+        let mut replay = InstanceReplay::new(&inst);
+        let err = run_worksteal_stream(&mut replay, &cfg, StealPolicy::AdmitFirst, 1, &mut |_| {})
+            .expect_err("fault plans unsupported");
+        assert_eq!(err, StreamError::FaultsUnsupported);
+    }
+
+    #[test]
+    fn opt_tap_tracks_batch_bound() {
+        let inst = inst_seq(&[(0, 6), (1, 2), (5, 4)]);
+        let m = 2;
+        let mut tap = OptTap::new(InstanceReplay::new(&inst), m);
+        let (_, _) = run_worksteal_stream(
+            &mut tap,
+            &SimConfig::new(m),
+            StealPolicy::AdmitFirst,
+            3,
+            &mut |_| {},
+        )
+        .expect("streams cleanly");
+        assert_eq!(tap.opt().opt_max_flow(), crate::opt_max_flow(&inst, m));
+        assert_eq!(
+            tap.opt().combined_lower_bound(),
+            crate::combined_lower_bound(&inst, m)
+        );
+    }
+}

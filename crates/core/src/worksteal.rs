@@ -75,27 +75,29 @@ impl StealPolicy {
     }
 }
 
-/// One worker's private state.
+/// One worker's private state. Shared with the streaming engine
+/// (`crate::stream`), whose tasks carry slab slot ids in place of job ids
+/// — both are `u32`, so the layout is identical.
 #[derive(Clone, Debug)]
-struct Worker {
+pub(crate) struct Worker {
     /// The node currently being executed across rounds, if any.
-    current: Option<(JobId, NodeId)>,
+    pub(crate) current: Option<(JobId, NodeId)>,
     /// The deque: back = bottom (owner side), front = top (thief side).
-    deque: VecDeque<(JobId, NodeId)>,
+    pub(crate) deque: VecDeque<(JobId, NodeId)>,
     /// Nodes enabled during the current round, flushed to `deque` at round end.
-    pending: Vec<(JobId, NodeId)>,
+    pub(crate) pending: Vec<(JobId, NodeId)>,
     /// Consecutive failed steal attempts since the last success/work.
     /// `u64` so quiescent fast-forwards count every skipped round exactly;
     /// the old `u32` silently saturated past ~4.3e9 rounds.
-    failed_steals: u64,
+    pub(crate) failed_steals: u64,
     /// Next victim index for the round-robin scan strategy.
-    scan_next: usize,
+    pub(crate) scan_next: usize,
 }
 
 impl Worker {
     /// `index` staggers the round-robin scan start so thieves probe
     /// distinct victims each round instead of sweeping in lockstep.
-    fn new(index: usize) -> Self {
+    pub(crate) fn new(index: usize) -> Self {
         Worker {
             current: None,
             deque: VecDeque::new(),
@@ -112,24 +114,24 @@ impl Worker {
 /// (which the hot loop touches) so the disabled path stays byte-identical
 /// and allocation-free.
 #[derive(Clone, Copy, Debug, Default)]
-struct WorkerObs {
+pub(crate) struct WorkerObs {
     /// Work units executed by this worker.
-    work_steps: u64,
+    pub(crate) work_steps: u64,
     /// Steal attempts charged to this worker (excludes quiescent gaps,
     /// mirroring `EngineStats::steal_attempts`).
-    steal_attempts: u64,
+    pub(crate) steal_attempts: u64,
     /// Successful steals.
-    successful_steals: u64,
+    pub(crate) successful_steals: u64,
     /// Rounds this worker spent on failed steals (unit-cost model) or
     /// quiescent fast-forwarded rounds.
-    failed_steal_rounds: u64,
+    pub(crate) failed_steal_rounds: u64,
     /// Jobs admitted from the global queue by this worker.
-    admissions: u64,
+    pub(crate) admissions: u64,
     /// Idle rounds (free-steal model and quiescent gaps).
-    idle_steps: u64,
+    pub(crate) idle_steps: u64,
     /// Largest consecutive failed-steal streak ever observed — the value
     /// the `failed_steals` u32→u64 widening makes exact.
-    max_failed_streak: u64,
+    pub(crate) max_failed_streak: u64,
 }
 
 /// One steal attempt by worker `p`; the victim is chosen per `strategy`
@@ -138,7 +140,7 @@ struct WorkerObs {
 /// — under [`StealAmount::Half`] — the rest of the top half of the
 /// victim's deque onto the thief's deque.
 #[inline]
-fn steal_into(
+pub(crate) fn steal_into(
     p: usize,
     workers: &mut [Worker],
     rng: &mut SmallRng,
@@ -193,7 +195,7 @@ fn steal_into(
 /// a steal site — it pops it before reaching the steal path — so the thief
 /// index needs no exclusion.)
 #[inline]
-fn any_stealable(workers: &[Worker], blackholed: &[bool]) -> bool {
+pub(crate) fn any_stealable(workers: &[Worker], blackholed: &[bool]) -> bool {
     workers
         .iter()
         .zip(blackholed)
@@ -286,7 +288,7 @@ pub(crate) fn advance_scan(start: usize, p: usize, m: usize, count: u64) -> usiz
 /// steal attempts by worker `p` that are known to fail. A no-op for
 /// `m <= 1`, mirroring `steal_into`'s early return.
 #[inline]
-fn burn_failed_attempts(
+pub(crate) fn burn_failed_attempts(
     rng: &mut SmallRng,
     workers: &mut [Worker],
     p: usize,

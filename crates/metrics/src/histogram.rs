@@ -71,6 +71,27 @@ impl Histogram {
         &self.counts
     }
 
+    /// Approximate quantile by nearest rank over the bins: the upper edge
+    /// of the bin holding the rank-`⌈q·total⌉` sample. Accurate to one bin
+    /// width for in-range samples (out-of-range samples were clamped into
+    /// the edge bins, so tail quantiles saturate at `hi`). `None` when the
+    /// histogram is empty or `q ∉ (0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(self.lo + width * (i as f64 + 1.0));
+            }
+        }
+        Some(self.hi)
+    }
+
     /// `(bin_center, probability)` pairs.
     pub fn probabilities(&self) -> Vec<(f64, f64)> {
         let bins = self.counts.len();

@@ -7,6 +7,7 @@
 //! parflow generate --dist lognormal --qps 1200 --jobs 1000 --out inst.json
 //! parflow analyze  --in inst.json --scheduler fifo --eps 1/10
 //! parflow exec     --jobs 200 --m 4 --faults crash:3@1000,panic:0.01 --deadline 30s
+//! parflow exec     --stream --jobs 10000000 --policy steal-16-first
 //! parflow serve    run --input subs.jsonl --workers 2 --slo 5000
 //! parflow dot      --shape fork-join --depth 3 --leaf 4
 //! ```
@@ -22,6 +23,16 @@
 //! watchdog, and `--obs-json PATH` dumping a machine-readable run report
 //! (counters, per-worker telemetry, latency histograms, phase wall times)
 //! through the `parflow-obs` observability layer.
+//!
+//! `exec --stream` (or `--stream on`) swaps the threaded executor for the
+//! O(active)-memory streaming simulation core: jobs are pulled one at a
+//! time from the workload's endless source and retired on completion, so
+//! `--jobs 10000000` runs in a few MB of peak RSS where the materialized
+//! path would need the whole instance in memory. Reports exact max flow, the
+//! incremental OPT lower bound (live competitive ratio), histogram
+//! percentiles, retirement counters, and peak RSS. `--policy` additionally
+//! accepts `fifo` (the streaming centralized engine); `--faults` is
+//! rejected (the streaming engines model a reliable machine).
 
 use crate::bridge::{instance_to_workload, BridgeConfig};
 use crate::core::{
@@ -450,9 +461,105 @@ fn analyze_cmd(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `exec --stream on`: pull the workload's endless job source through the
+/// O(active)-memory streaming simulation core instead of the threaded
+/// executor. This is the multi-million-job mode (`--jobs 10000000`): the
+/// executor path must materialize the whole instance up front, which at
+/// that scale does not fit; the stream retires completed jobs back into a
+/// free-listed slab, tracks the OPT lower bound incrementally, and keeps
+/// exact max flow plus histogram percentiles in O(1) memory.
+fn exec_stream_cmd(flags: &Flags) -> Result<String, CliError> {
+    let (spec, m) = workload_from_flags(flags)?;
+    let seed: u64 = flags.parse_or("seed", 42u64)?;
+    if flags.get("faults").is_some() {
+        return Err(CliError::BadFlag(
+            "faults".into(),
+            "not supported with --stream on (the streaming engines model a reliable machine)"
+                .into(),
+        ));
+    }
+    let cfg = config_from_flags(flags, m)?;
+    let jobs = spec.n_jobs as u64;
+    let obs_path = flags.get("obs-json").map(str::to_string);
+    let mut rec = obs_path.as_deref().map(JsonRecorder::new);
+    let started = std::time::Instant::now(); // lint: allow(nondeterminism) wall-clock jobs/s reporting only; the schedule is seed-deterministic
+    let run = match flags.get("policy").unwrap_or("steal-16-first") {
+        "fifo" => match rec.as_mut() {
+            Some(r) => parflow_bench::stream::run_stream_fifo_observed(&spec, &cfg, jobs, r),
+            None => parflow_bench::stream::run_stream_fifo(&spec, &cfg, jobs),
+        },
+        s => {
+            let policy = match s {
+                "admit-first" => crate::core::StealPolicy::AdmitFirst,
+                _ => {
+                    let k = s
+                        .strip_prefix("steal-")
+                        .and_then(|t| t.strip_suffix("-first"))
+                        .and_then(|k| k.parse().ok())
+                        .ok_or_else(|| CliError::BadFlag("policy".into(), s.into()))?;
+                    crate::core::StealPolicy::StealKFirst { k }
+                }
+            };
+            match rec.as_mut() {
+                Some(r) => parflow_bench::stream::run_stream_ws_observed(
+                    &spec, &cfg, policy, seed, jobs, r,
+                ),
+                None => parflow_bench::stream::run_stream_ws(&spec, &cfg, policy, seed, jobs),
+            }
+        }
+    }
+    .map_err(|e| CliError::Io(format!("stream: {e}")))?;
+    let wall = started.elapsed().as_secs_f64();
+    let to_ms = 1000.0 / crate::workloads::TICKS_PER_SECOND;
+    let mut out = format!(
+        "streamed {} jobs on {m} workers in {:.1}s ({:.0} jobs/s, {:.2e} rounds/s)\n",
+        run.summary.jobs,
+        wall,
+        run.summary.jobs as f64 / wall.max(1e-9),
+        run.summary.total_rounds as f64 / wall.max(1e-9),
+    );
+    out.push_str(&format!(
+        "max flow {:.2} ms, mean {:.2} ms, ~p99 {:.2} ms ({} NaN excluded)\n",
+        run.summary.max_flow.to_f64() * to_ms,
+        run.flows.mean().unwrap_or(0.0) * to_ms,
+        run.flows.quantile(0.99).unwrap_or(0.0) * to_ms,
+        run.flows.nan(),
+    ));
+    out.push_str(&format!(
+        "live OPT bound {:.2} ms -> ratio {:.2}\n",
+        run.opt.combined_lower_bound().to_f64() * to_ms,
+        run.competitive_ratio().unwrap_or(0.0),
+    ));
+    out.push_str(&format!(
+        "retirement: {} retired, {} live high-water, {} slab slots (reuse {:.1}%), {} cursor slots",
+        run.summary.retire.jobs_retired,
+        run.summary.retire.live_jobs_high_water,
+        run.summary.retire.slab_slots,
+        run.summary.retire.slab_reuse_ratio().unwrap_or(0.0) * 100.0,
+        run.summary.retire.cursor_slots,
+    ));
+    if let Some(kb) = parflow_bench::stream::peak_rss_kb() {
+        out.push_str(&format!("\npeak RSS {:.1} MB (VmHWM)", kb as f64 / 1024.0));
+    }
+    if let Some(rec) = rec.as_mut() {
+        rec.flush()
+            .map_err(|e| CliError::Io(format!("obs-json: {e}")))?;
+        out.push_str(&format!(
+            "\n(obs json written to {})",
+            obs_path.as_deref().unwrap_or_default()
+        ));
+    }
+    Ok(out)
+}
+
 /// Run a generated workload on the *real* threaded executor (via the
 /// bridge), with optional fault injection and watchdog deadline.
 fn exec_cmd(flags: &Flags) -> Result<String, CliError> {
+    match flags.get("stream") {
+        Some("on" | "true" | "1") => return exec_stream_cmd(flags),
+        Some("off" | "false" | "0") | None => {}
+        Some(other) => return Err(CliError::BadFlag("stream".into(), other.into())),
+    }
     let (spec, m) = workload_from_flags(flags)?;
     let seed: u64 = flags.parse_or("seed", 42u64)?;
     let policy = match flags.get("policy").unwrap_or("admit-first") {
@@ -600,6 +707,24 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         // delegate before Flags::parse.
         return parflow_bench::sweep::cli_main(rest).map_err(CliError::Io);
     }
+    // `--stream` reads naturally as a bare flag (`exec --stream --jobs
+    // 10000000`); Flags::parse wants `--key value` pairs, so a bare
+    // occurrence is normalized to `--stream on` before parsing.
+    let normalized: Vec<String>;
+    let rest = if cmd == "exec" && rest.iter().any(|a| a == "--stream") {
+        let mut v = Vec::with_capacity(rest.len() + 1);
+        let mut it = rest.iter().peekable();
+        while let Some(a) = it.next() {
+            v.push(a.clone());
+            if a == "--stream" && it.peek().is_none_or(|n| n.starts_with("--")) {
+                v.push("on".to_string());
+            }
+        }
+        normalized = v;
+        &normalized[..]
+    } else {
+        rest
+    };
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "simulate" => simulate_cmd(&flags),
@@ -992,6 +1117,62 @@ mod tests {
         .unwrap_err();
         assert!(
             matches!(e, CliError::BadFlag(ref k, _) if k == "faults"),
+            "{e:?}"
+        );
+    }
+
+    // ---- exec --stream: the O(active)-memory streaming path ----
+
+    #[test]
+    fn exec_stream_runs_and_reports() {
+        // Bare `--stream` is normalized to `--stream on` before parsing.
+        let out = run_cli(&argv("exec --stream --jobs 200 --m 4 --qps 5000")).unwrap();
+        assert!(out.contains("streamed 200 jobs on 4 workers"), "{out}");
+        assert!(out.contains("live OPT bound"), "{out}");
+        assert!(out.contains("retirement:"), "{out}");
+        // Explicit value form behaves identically.
+        let out2 = run_cli(&argv("exec --stream on --jobs 200 --m 4 --qps 5000")).unwrap();
+        assert!(out2.contains("streamed 200 jobs"), "{out2}");
+        // `--stream off` falls through to the threaded executor.
+        let out3 = run_cli(&argv(
+            "exec --stream off --jobs 10 --m 2 --qps 5000 --compress 20000 --iters-per-unit 1",
+        ))
+        .unwrap();
+        assert!(out3.contains("executed 10 jobs"), "{out3}");
+    }
+
+    #[test]
+    fn exec_stream_accepts_every_policy_spelling() {
+        for policy in ["fifo", "admit-first", "steal-4-first"] {
+            let out = run_cli(&argv(&format!(
+                "exec --stream --jobs 100 --m 2 --qps 5000 --policy {policy}"
+            )))
+            .unwrap();
+            assert!(out.contains("streamed 100 jobs"), "{policy}: {out}");
+        }
+        let e = run_cli(&argv(
+            "exec --stream --jobs 100 --m 2 --qps 5000 --policy warp-first",
+        ))
+        .unwrap_err();
+        assert!(
+            matches!(e, CliError::BadFlag(ref k, _) if k == "policy"),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn exec_stream_rejects_faults_and_bad_values() {
+        let e = run_cli(&argv(
+            "exec --stream --jobs 100 --m 2 --qps 5000 --faults panic:0.5",
+        ))
+        .unwrap_err();
+        assert!(
+            matches!(e, CliError::BadFlag(ref k, _) if k == "faults"),
+            "{e:?}"
+        );
+        let e = run_cli(&argv("exec --stream maybe --jobs 100 --m 2 --qps 5000")).unwrap_err();
+        assert!(
+            matches!(e, CliError::BadFlag(ref k, _) if k == "stream"),
             "{e:?}"
         );
     }

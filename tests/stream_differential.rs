@@ -1,0 +1,282 @@
+//! Differential proof of the streaming engines and the incremental OPT
+//! tracker.
+//!
+//! The O(active)-memory streaming paths (`run_worksteal_stream`,
+//! `run_priority_stream`) retire completed jobs into a free-listed slab
+//! instead of materializing the instance. Across random instances, for
+//! **every prefix length n**, replaying the first n jobs through the
+//! stream must be bit-identical to the materialized engine run on an
+//! instance of those same n jobs — same stats, round count, outcomes,
+//! backlog samples, max flow and schedule trace. Likewise the incremental
+//! [`OptTracker`] must equal the batch lower bounds after every single
+//! arrival, and the `u32` job-id space must fail closed (satellite of the
+//! sweep grid's jobs-axis validation).
+
+use parflow::core::{
+    combined_lower_bound, opt_flows, opt_max_flow, run_priority, run_priority_stream,
+    run_worksteal, run_worksteal_stream, run_worksteal_stream_with_base, span_lower_bound, Fifo,
+    InstanceReplay, OptTracker, SimConfig, StreamError,
+};
+use parflow::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random small instance of mixed DAG shapes and arrival patterns —
+/// kept smaller than `engine_differential`'s generator because every case
+/// here runs all n prefixes (O(n²) simulations per case).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (any::<u64>(), 1usize..9, 0u64..50).prop_map(|(seed, njobs, spread)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let jobs = (0..njobs)
+            .map(|i| {
+                let arrival = if spread == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=spread)
+                };
+                let dag = match rng.gen_range(0..4u8) {
+                    0 => shapes::single_node(rng.gen_range(1..25)),
+                    1 => shapes::chain(rng.gen_range(1..5), rng.gen_range(1..5)),
+                    2 => shapes::parallel_for(rng.gen_range(1..30), rng.gen_range(1..6)),
+                    _ => shapes::fork_join(rng.gen_range(0..4), rng.gen_range(1..5)),
+                };
+                Job::weighted(i as u32, arrival, rng.gen_range(1..8u64), Arc::new(dag))
+            })
+            .collect();
+        Instance::new(jobs)
+    })
+}
+
+/// The first `n` jobs of `inst` as a materialized instance. The jobs are
+/// already arrival-sorted with dense ids, so `Instance::new` is an
+/// identity re-wrap and the stream-assigned ids line up exactly.
+fn prefix_instance(inst: &Instance, n: usize) -> Instance {
+    Instance::new(inst.jobs()[..n].to_vec())
+}
+
+/// Stream the first `n` jobs through the work-stealing engine and assert
+/// bit-identity with the materialized run of the same prefix.
+fn assert_ws_prefix_identical(
+    inst: &Instance,
+    n: usize,
+    cfg: &SimConfig,
+    policy: StealPolicy,
+    seed: u64,
+) {
+    let prefix = prefix_instance(inst, n);
+    let (batch, batch_trace) = run_worksteal(&prefix, cfg, policy, seed);
+    let mut outs = Vec::new();
+    let mut replay = InstanceReplay::prefix(inst, n);
+    let (sum, trace) = run_worksteal_stream(&mut replay, cfg, policy, seed, &mut |o| {
+        outs.push(o.clone())
+    })
+    .expect("replay of an instance is sorted and fault-free");
+    assert_eq!(sum.jobs, n as u64, "prefix {n}: jobs");
+    assert_eq!(sum.stats, batch.stats, "prefix {n}: stats");
+    assert_eq!(sum.total_rounds, batch.total_rounds, "prefix {n}: rounds");
+    assert_eq!(sum.max_flow, batch.max_flow(), "prefix {n}: max flow");
+    assert_eq!(sum.samples, batch.samples, "prefix {n}: samples");
+    // Outcomes reach the sink in completion order; compare keyed by id.
+    outs.sort_by_key(|o| o.job);
+    assert_eq!(outs, batch.outcomes, "prefix {n}: outcomes");
+    assert_eq!(trace, batch_trace, "prefix {n}: trace");
+    // All n jobs retired, and the slab never held more than the prefix.
+    assert_eq!(sum.retire.jobs_retired, n as u64, "prefix {n}: retired");
+    assert!(sum.retire.live_jobs_high_water <= n as u64, "prefix {n}");
+}
+
+/// Same contract for the centralized streaming engine under FIFO.
+fn assert_fifo_prefix_identical(inst: &Instance, n: usize, cfg: &SimConfig) {
+    let prefix = prefix_instance(inst, n);
+    let (batch, batch_trace) = run_priority(&prefix, cfg, &Fifo);
+    let mut outs = Vec::new();
+    let mut replay = InstanceReplay::prefix(inst, n);
+    let (sum, trace) = run_priority_stream(&mut replay, cfg, &Fifo, &mut |o| outs.push(o.clone()))
+        .expect("replay of an instance is sorted and fault-free");
+    assert_eq!(sum.jobs, n as u64, "prefix {n}: jobs");
+    assert_eq!(sum.stats, batch.stats, "prefix {n}: stats");
+    assert_eq!(sum.total_rounds, batch.total_rounds, "prefix {n}: rounds");
+    assert_eq!(sum.max_flow, batch.max_flow(), "prefix {n}: max flow");
+    assert_eq!(sum.samples, batch.samples, "prefix {n}: samples");
+    outs.sort_by_key(|o| o.job);
+    assert_eq!(outs, batch.outcomes, "prefix {n}: outcomes");
+    assert_eq!(trace, batch_trace, "prefix {n}: trace");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work-stealing stream ≡ materialized run, for every prefix length.
+    #[test]
+    fn worksteal_stream_is_bit_identical_on_every_prefix(
+        inst in arb_instance(),
+        m in 1usize..5,
+        k in 0u32..4,
+        seed in any::<u64>(),
+        traced in any::<bool>()
+    ) {
+        let mut cfg = SimConfig::new(m);
+        if traced {
+            cfg = cfg.with_trace();
+        }
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        for n in 1..=inst.len() {
+            assert_ws_prefix_identical(&inst, n, &cfg, policy, seed);
+        }
+    }
+
+    /// Centralized stream ≡ materialized run, for every prefix length,
+    /// including fractional speed augmentation and backlog sampling.
+    #[test]
+    fn centralized_stream_is_bit_identical_on_every_prefix(
+        inst in arb_instance(),
+        m in 1usize..5,
+        fast in any::<bool>(),
+        sample in 0u64..3
+    ) {
+        let mut cfg = SimConfig::new(m).with_trace();
+        if fast {
+            cfg = cfg.with_speed(Speed::new(11, 10));
+        }
+        if sample > 0 {
+            cfg = cfg.with_sampling(sample);
+        }
+        for n in 1..=inst.len() {
+            assert_fifo_prefix_identical(&inst, n, &cfg);
+        }
+    }
+
+    /// The incremental OPT tracker equals the batch lower bounds after
+    /// EVERY arrival, and `on_arrival` returns exactly the per-job flow
+    /// `opt_flows` would compute at that index.
+    #[test]
+    fn opt_tracker_matches_batch_after_every_arrival(
+        inst in arb_instance(),
+        m in 1usize..9
+    ) {
+        let mut tracker = OptTracker::new(m);
+        let flows = opt_flows(&inst, m);
+        for (i, job) in inst.jobs().iter().enumerate() {
+            let flow = tracker.on_arrival(job.arrival, job.work(), job.span());
+            assert_eq!(flow, flows[i], "arrival {i}: per-job OPT flow");
+            let prefix = prefix_instance(&inst, i + 1);
+            assert_eq!(
+                tracker.opt_max_flow(),
+                opt_max_flow(&prefix, m),
+                "arrival {i}: opt_max_flow"
+            );
+            assert_eq!(
+                tracker.span_lower_bound(),
+                span_lower_bound(&prefix),
+                "arrival {i}: span_lower_bound"
+            );
+            assert_eq!(
+                tracker.combined_lower_bound(),
+                combined_lower_bound(&prefix, m),
+                "arrival {i}: combined_lower_bound"
+            );
+            assert_eq!(tracker.arrivals(), (i + 1) as u64);
+        }
+    }
+}
+
+/// Satellite regression: the `u32` job-id space fails closed. Seeding the
+/// stream near the top of the id space (as a resharded producer would)
+/// must surface `TooManyJobs` with the first id that did not fit, instead
+/// of silently wrapping — and a stream that stops exactly at `u32::MAX`
+/// must still run to completion.
+#[test]
+fn job_id_overflow_is_a_checked_error() {
+    let inst = Instance::new(
+        (0..6)
+            .map(|i| Job::new(i, i as u64 * 4, Arc::new(shapes::single_node(3))))
+            .collect(),
+    );
+    let cfg = SimConfig::new(2);
+    let policy = StealPolicy::StealKFirst { k: 2 };
+
+    // Base chosen so ids MAX-2, MAX-1, MAX fit and the 4th job overflows.
+    let base = u32::MAX as u64 - 2;
+    let mut replay = InstanceReplay::new(&inst);
+    let err = run_worksteal_stream_with_base(
+        &mut replay,
+        &cfg,
+        policy,
+        7,
+        &mut |_| {},
+        &mut NullRecorder,
+        base,
+    )
+    .expect_err("4th id exceeds u32");
+    assert_eq!(err, StreamError::TooManyJobs(u32::MAX as u64 + 1));
+
+    // Exactly filling the id space is fine, and the run is the same
+    // schedule as a base-0 run with every outcome id shifted by the base.
+    let top = u32::MAX as u64 - 5;
+    let mut shifted_ids = Vec::new();
+    let mut replay = InstanceReplay::new(&inst);
+    let (sum_top, _) = run_worksteal_stream_with_base(
+        &mut replay,
+        &cfg,
+        policy,
+        7,
+        &mut |o| shifted_ids.push(o.job),
+        &mut NullRecorder,
+        top,
+    )
+    .expect("ids end exactly at u32::MAX");
+    let mut base_ids = Vec::new();
+    let mut replay = InstanceReplay::new(&inst);
+    let (sum_zero, _) = run_worksteal_stream_with_base(
+        &mut replay,
+        &cfg,
+        policy,
+        7,
+        &mut |o| base_ids.push(o.job),
+        &mut NullRecorder,
+        0,
+    )
+    .expect("base 0 streams cleanly");
+    assert_eq!(sum_top.stats, sum_zero.stats);
+    assert_eq!(sum_top.max_flow, sum_zero.max_flow);
+    assert_eq!(sum_top.total_rounds, sum_zero.total_rounds);
+    let unshifted: Vec<u32> = shifted_ids
+        .iter()
+        .map(|id| (*id as u64 - top) as u32)
+        .collect();
+    assert_eq!(unshifted, base_ids);
+    assert_eq!(*shifted_ids.iter().max().unwrap(), u32::MAX);
+}
+
+/// An out-of-order stream is rejected with the offending pull index, not
+/// simulated wrong.
+#[test]
+fn unsorted_stream_is_a_checked_error() {
+    struct Unsorted(u32);
+    impl parflow::core::JobStream for Unsorted {
+        fn next_job(&mut self) -> Option<parflow::core::StreamedJob> {
+            self.0 += 1;
+            (self.0 <= 3).then(|| parflow::core::StreamedJob {
+                // Arrivals 20, 10, ... — the second pull violates order.
+                arrival: if self.0 == 1 { 20 } else { 10 },
+                weight: 1,
+                dag: Arc::new(shapes::single_node(2)),
+            })
+        }
+    }
+    let err = run_worksteal_stream(
+        &mut Unsorted(0),
+        &SimConfig::new(2),
+        StealPolicy::AdmitFirst,
+        1,
+        &mut |_| {},
+    )
+    .expect_err("second job arrives before the first");
+    assert_eq!(err, StreamError::UnsortedArrivals { index: 1 });
+}
