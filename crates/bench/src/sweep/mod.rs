@@ -30,7 +30,10 @@ pub mod prune;
 
 use std::collections::BTreeMap;
 
-use parflow_core::{opt_max_flow, simulate_batched, simulate_fifo, ReplicaSpec, SimConfig};
+use parflow_core::{
+    opt_max_flow, run_priority, run_worksteal, simulate_batched, simulate_fifo, Fifo, ReplicaSpec,
+    SimConfig,
+};
 use parflow_workloads::{ShapeKind, WorkloadSpec, TICKS_PER_SECOND};
 
 use crate::experiments::{par_map_with, par_threads};
@@ -62,6 +65,13 @@ pub struct SweepOptions {
     /// than `generate()`, so streaming stores are a distinct population —
     /// the store header is tagged and `--resume` refuses to mix them.
     pub stream: bool,
+    /// Machine-check paper invariants (P1–P5) on spot-checked cells. For
+    /// materialized groups, one work-stealing cell and one FIFO cell per
+    /// instance are re-run with tracing and replayed through
+    /// [`parflow_certify::certify_run`]; streaming cells get the P5
+    /// lower-bound check on their exact max flow. Off by default so the
+    /// hot path (and the bench goldens) never pays for tracing.
+    pub certify: bool,
 }
 
 impl Default for SweepOptions {
@@ -71,6 +81,7 @@ impl Default for SweepOptions {
             prune_factor: 4.0,
             batch_lanes: 8,
             stream: false,
+            certify: false,
         }
     }
 }
@@ -222,10 +233,18 @@ fn stream_outcome(run: &crate::stream::StreamRun) -> CellOutcome {
 
 /// Simulate one instance group: generate the instance once, run every
 /// work-stealing cell through a single batched SoA call, and the FIFO
-/// cells through the centralized engine.
-fn run_instance(job: &InstanceJob, batch_lanes: usize, stream: bool) -> Vec<(usize, CellOutcome)> {
+/// cells through the centralized engine. With `certify`, one
+/// work-stealing cell and one FIFO cell per group are re-run with
+/// tracing and machine-checked against the paper invariants (P1–P5);
+/// streaming cells get the P5 lower-bound check on their exact max flow.
+fn run_instance(
+    job: &InstanceJob,
+    batch_lanes: usize,
+    stream: bool,
+    certify: bool,
+) -> Result<Vec<(usize, CellOutcome)>, String> {
     let Some(first) = job.cells.first() else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let spec = WorkloadSpec {
         dist: first.dist,
@@ -258,18 +277,36 @@ fn run_instance(job: &InstanceJob, batch_lanes: usize, stream: bool) -> Vec<(usi
                 }
             };
             let outcome = match run {
-                Ok(run) => stream_outcome(&run),
+                Ok(run) => {
+                    if certify {
+                        let report = parflow_certify::certify_stream_summary(
+                            cell.speed(),
+                            run.summary.jobs,
+                            run.summary.max_flow,
+                            run.opt.combined_lower_bound(),
+                        );
+                        if !report.is_clean() {
+                            return Err(format!(
+                                "--certify: cell {}: {}",
+                                cell.id,
+                                report.render()
+                            ));
+                        }
+                    }
+                    stream_outcome(&run)
+                }
                 Err(_) => CellOutcome::from_flows_ms(&[], 0.0),
             };
             out.push((cell.id, outcome));
         }
-        return out;
+        return Ok(out);
     }
     let instance = spec.generate();
     let to_ms = 1000.0 / TICKS_PER_SECOND;
     let opt_ms = opt_max_flow(&instance, first.m).to_f64() * to_ms;
     let mut ws: Vec<(usize, ReplicaSpec)> = Vec::new();
     let mut out: Vec<(usize, CellOutcome)> = Vec::with_capacity(job.cells.len());
+    let mut fifo_certified = false;
     for cell in &job.cells {
         match cell.policy.steal_policy() {
             Some(policy) => ws.push((
@@ -284,19 +321,61 @@ fn run_instance(job: &InstanceJob, batch_lanes: usize, stream: bool) -> Vec<(usi
             )),
             None => {
                 let cfg = SimConfig::new(cell.m).with_speed(cell.speed());
+                if certify && !fifo_certified {
+                    fifo_certified = true;
+                    certify_cell(&instance, &cfg, None, cell.id, |traced| {
+                        run_priority(&instance, traced, &Fifo)
+                    })?;
+                }
                 let result = simulate_fifo(&instance, &cfg);
                 out.push((cell.id, outcome_of(&result, opt_ms)));
             }
         }
     }
     if !ws.is_empty() {
+        if certify {
+            // One replica per group is enough for a spot-check: every
+            // replica shares the instance, and the batched engine is
+            // bit-identical to the sequential one (differential suite).
+            if let Some((id, spec)) = ws.first() {
+                certify_cell(&instance, &spec.config, Some(spec.policy), *id, |traced| {
+                    run_worksteal(&instance, traced, spec.policy, spec.seed)
+                })?;
+            }
+        }
         let specs: Vec<ReplicaSpec> = ws.iter().map(|(_, s)| s.clone()).collect();
         let results = simulate_batched(&instance, &specs, batch_lanes);
         for ((id, _), result) in ws.iter().zip(&results) {
             out.push((*id, outcome_of(result, opt_ms)));
         }
     }
-    out
+    Ok(out)
+}
+
+/// Re-run one cell with tracing enabled and replay the schedule through
+/// the independent certifier. Tracing only records — it never changes
+/// scheduling decisions — so the traced run is the same schedule the
+/// untraced cell measured.
+fn certify_cell(
+    instance: &parflow_dag::Instance,
+    cfg: &SimConfig,
+    policy: Option<parflow_core::StealPolicy>,
+    id: usize,
+    run: impl FnOnce(&SimConfig) -> (parflow_core::SimResult, Option<parflow_core::ScheduleTrace>),
+) -> Result<(), String> {
+    let traced = cfg.clone().with_trace();
+    let (result, trace) = run(&traced);
+    let Some(trace) = trace else {
+        return Err(format!(
+            "--certify: cell {id}: traced run produced no trace"
+        ));
+    };
+    let report = parflow_certify::certify_run(instance, &traced, policy, &result, &trace);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("--certify: cell {id}: {}", report.render()))
+    }
 }
 
 /// Run the whole sweep. `prior` is the text of an existing store for
@@ -369,10 +448,13 @@ pub fn run_sweep(
         let jobs: Vec<InstanceJob> = groups.into_values().collect();
         let lanes = opts.batch_lanes;
         let stream = opts.stream;
-        let results = par_map_with(opts.threads, jobs, |job| run_instance(&job, lanes, stream));
+        let certify = opts.certify;
+        let results = par_map_with(opts.threads, jobs, |job| {
+            run_instance(&job, lanes, stream, certify)
+        });
         let mut simulated: BTreeMap<usize, CellOutcome> = BTreeMap::new();
         for group in results {
-            for (id, outcome) in group {
+            for (id, outcome) in group? {
                 summary.executed += 1;
                 simulated.insert(id, outcome);
             }
@@ -481,7 +563,7 @@ pub fn run_sweep(
 
 const USAGE: &str = "usage: sweep [--grid SPEC|smoke|phase] [--out PATH] [--resume]
              [--threads N] [--prune-factor F] [--seeds N] [--jobs N]
-             [--stream] [--no-table] [--markdown]
+             [--stream] [--certify] [--no-table] [--markdown]
 
 Runs the cluster -> prune -> fan-out -> aggregate mega-sweep and writes a
 jsonl store (header + one line per grid cell, in cell-id order). With
@@ -490,7 +572,11 @@ the remainder is simulated; a torn trailing line from a crashed run is
 dropped (and counted) automatically. --stream runs every cell through the
 O(active)-memory streaming engines (exact max flow, incremental OPT),
 enabling --jobs counts that would not fit in memory; streaming stores are
-header-tagged and cannot be resumed into materialized ones.";
+header-tagged and cannot be resumed into materialized ones. --certify
+machine-checks the paper invariants (P1-P5) on spot-checked cells: per
+instance group, one work-stealing and one FIFO cell are re-run with
+tracing and replayed through parflow-certify; streaming cells get the P5
+lower-bound check. A violation aborts the sweep with the diagnostic.";
 
 /// `repro sweep` / `parflow sweep` entry point. Returns the rendered
 /// report (summary + crossover table) for the caller to print.
@@ -516,6 +602,7 @@ pub fn cli_main(args: &[String]) -> Result<String, String> {
             "--out" => out_path = Some(value("--out")?),
             "--resume" => resume = true,
             "--stream" => opts.stream = true,
+            "--certify" => opts.certify = true,
             "--no-table" => table = false,
             "--markdown" => markdown = true,
             "--threads" => {
@@ -580,6 +667,11 @@ pub fn cli_main(args: &[String]) -> Result<String, String> {
     let mut report = String::new();
     report.push_str(&format!("sweep grid: {}\n", grid.canonical()));
     report.push_str(&format!("{}\n", outcome.summary.render()));
+    if opts.certify {
+        // run_sweep would have erred on any violation; reaching here
+        // means every spot-checked cell certified clean.
+        report.push_str("certify: clean (P1-P5 spot checks on every instance group)\n");
+    }
     if let Some(path) = &out_path {
         report.push_str(&format!("store written to {path}\n"));
     }
@@ -628,6 +720,39 @@ mod tests {
         for (i, r) in out.records.iter().enumerate() {
             assert_eq!(r.spec.id, i);
         }
+    }
+
+    #[test]
+    fn certified_sweep_is_clean_and_store_identical() {
+        // Certification re-runs spot-checked cells with tracing; the
+        // measured store must be byte-identical to an uncertified run
+        // (certification is observation, never perturbation).
+        let grid = tiny_grid();
+        let plain = run_sweep(&grid, None, &SweepOptions::default()).unwrap();
+        let certified = run_sweep(
+            &grid,
+            None,
+            &SweepOptions {
+                certify: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.store(), certified.store());
+        assert_eq!(plain.summary, certified.summary);
+    }
+
+    #[test]
+    fn certified_streaming_sweep_is_clean() {
+        let grid = tiny_grid();
+        let opts = SweepOptions {
+            stream: true,
+            certify: true,
+            ..SweepOptions::default()
+        };
+        let out = run_sweep(&grid, None, &opts).unwrap();
+        assert_eq!(out.summary.cells, grid.cell_count());
+        assert_eq!(out.summary.empty, 0, "{}", out.summary.render());
     }
 
     #[test]

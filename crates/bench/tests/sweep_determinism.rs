@@ -20,6 +20,7 @@ fn opts(threads: usize) -> SweepOptions {
         prune_factor: 4.0,
         batch_lanes: 4,
         stream: false,
+        certify: false,
     }
 }
 

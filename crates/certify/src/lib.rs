@@ -1,0 +1,1011 @@
+//! # parflow-certify
+//!
+//! Engine-independent certifier for recorded schedules. Every engine in
+//! this workspace can emit a [`ScheduleTrace`] plus a [`SimResult`]; this
+//! crate replays that pair against the instance and *machine-checks* the
+//! feasibility model every competitive-ratio claim of AgrawalLLM16 (SPAA
+//! 2016) is stated over — without trusting any engine state:
+//!
+//! | Invariant | Checked property |
+//! |-----------|------------------|
+//! | **P1 precedence** | no node receives a unit before its arrival or before every DAG predecessor completed in a strictly earlier round; every node receives exactly `work` units |
+//! | **P2 capacity**   | every explicit round row covers exactly `m` processors; RLE idle spans never skip rounds in which an arrived job was incomplete; trace action counts equal the engine's reported counters |
+//! | **P3 policy**     | admit-first never steals or idles past a non-empty global queue; steal-k-first admits only after `k` consecutive failed steals; FIFO admission order is respected |
+//! | **P4 flow accounting** | every reported start/completion round, completion time and flow is recomputed exactly from the trace |
+//! | **P5 lower bound** | at speed 1 the observed max flow dominates the independently recomputed `combined_lower_bound`; every job's flow dominates `span / speed` |
+//!
+//! The certifier stops at the **first** violation and reports it as a
+//! structured [`Violation`] naming the round, worker, job and invariant,
+//! so a failure always points at the root cause instead of the cascade
+//! it produces downstream. Fault-injected runs are out of scope (the
+//! feasibility model above is fault-free); certifying one yields a
+//! [`CertReport::skipped`] reason, never a false violation.
+//!
+//! Policy conformance (P3) replays the global admission queue from the
+//! trace alone: arrivals enter at round start, workers act in index
+//! order, and an admission is the first-ever unit of work on a job. Two
+//! engine behaviours are *not* reconstructable from a trace and are
+//! deliberately unchecked: steal victim choice (the trace does not name
+//! victims) and the free-steal-cost probe counter (free probes leave no
+//! trace actions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use parflow_core::{
+    combined_lower_bound, Action, AdmissionOrder, JobStatus, ScheduleTrace, SimConfig, SimResult,
+    StealCost, StealPolicy, TraceSpan,
+};
+use parflow_dag::{Instance, JobId, NodeId};
+use parflow_time::{Rational, Round, Speed};
+
+/// The paper-level invariant a certifier finding violates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// P1: precedence-respecting execution (arrivals, DAG order, exact
+    /// unit counts).
+    Precedence,
+    /// P2: machine capacity (row width, idle-span consistency, counter
+    /// cross-checks).
+    Capacity,
+    /// P3: scheduling-policy conformance (admit-first / steal-k-first /
+    /// FIFO admission order).
+    Policy,
+    /// P4: reported flow accounting recomputed exactly from the trace.
+    FlowAccounting,
+    /// P5: observed max flow dominates the OPT lower bound
+    /// `max(W/m, span)`.
+    LowerBound,
+}
+
+impl Invariant {
+    /// Short code used in diagnostics and docs ("P1".."P5").
+    pub fn code(self) -> &'static str {
+        match self {
+            Invariant::Precedence => "P1",
+            Invariant::Capacity => "P2",
+            Invariant::Policy => "P3",
+            Invariant::FlowAccounting => "P4",
+            Invariant::LowerBound => "P5",
+        }
+    }
+
+    /// Human-readable invariant name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::Precedence => "precedence",
+            Invariant::Capacity => "capacity",
+            Invariant::Policy => "policy",
+            Invariant::FlowAccounting => "flow-accounting",
+            Invariant::LowerBound => "lower-bound",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+/// One certified-schedule violation: the invariant plus every locus the
+/// replay could attribute (absent fields mean "not applicable", e.g. a
+/// stats mismatch has no single round).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Offending round, when the violation is localized in time.
+    pub round: Option<Round>,
+    /// Offending worker (processor index), when localized.
+    pub worker: Option<usize>,
+    /// Offending job, when localized.
+    pub job: Option<JobId>,
+    /// What exactly went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.invariant)?;
+        if let Some(r) = self.round {
+            write!(f, " round {r}")?;
+        }
+        if let Some(w) = self.worker {
+            write!(f, " worker {w}")?;
+        }
+        if let Some(j) = self.job {
+            write!(f, " job {j}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of one certification: at most one violation (the first
+/// found, in replay order) plus coverage counters.
+#[derive(Clone, Debug, Default)]
+pub struct CertReport {
+    /// The first violation found, `None` for a clean schedule.
+    pub violation: Option<Violation>,
+    /// Rounds replayed (busy rows plus RLE idle rounds).
+    pub rounds: u64,
+    /// Work units replayed.
+    pub units: u64,
+    /// Jobs whose accounting was cross-checked.
+    pub jobs: usize,
+    /// Set when the run was not certifiable (fault-injected traces are
+    /// outside the fault-free feasibility model). A skipped report is
+    /// *not* clean-by-default: callers decide how to treat it.
+    pub skipped: Option<String>,
+}
+
+impl CertReport {
+    /// True iff certification ran to completion and found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.violation.is_none() && self.skipped.is_none()
+    }
+
+    /// One-line human rendering for CLI output and CI logs.
+    pub fn render(&self) -> String {
+        if let Some(reason) = &self.skipped {
+            return format!("certify: skipped ({reason})");
+        }
+        match &self.violation {
+            Some(v) => format!("certify: VIOLATION {v}"),
+            None => format!(
+                "certify: clean ({} rounds, {} units, {} jobs; P1-P5)",
+                self.rounds, self.units, self.jobs
+            ),
+        }
+    }
+}
+
+/// Per-(job, node) execution bookkeeping for the replay.
+struct NodeLedger {
+    /// Units executed so far, indexed `[job][node]`.
+    executed: Vec<Vec<u64>>,
+    /// Round in which the node received its final unit.
+    completed_in: Vec<Vec<Option<Round>>>,
+    /// Predecessor lists per job, built on first touch.
+    preds: Vec<Option<Vec<Vec<NodeId>>>>,
+}
+
+impl NodeLedger {
+    fn new(instance: &Instance) -> Self {
+        let shape: Vec<usize> = instance.jobs().iter().map(|j| j.dag.num_nodes()).collect();
+        NodeLedger {
+            executed: shape.iter().map(|&n| vec![0; n]).collect(),
+            completed_in: shape.iter().map(|&n| vec![None; n]).collect(),
+            preds: vec![None; shape.len()],
+        }
+    }
+
+    /// Predecessors of `node` within job `j` (computed from the CSR
+    /// successor lists on first use).
+    fn preds_of(&mut self, instance: &Instance, j: usize, node: NodeId) -> &[NodeId] {
+        let dag = &instance.jobs()[j].dag;
+        let preds = self.preds[j].get_or_insert_with(|| {
+            let n = dag.num_nodes();
+            let mut p = vec![Vec::new(); n];
+            // lint: allow(truncating-cast) NodeId is u32; JobDag construction caps node count at u32 range
+            for pid in 0..n as u32 {
+                for &s in dag.succs(pid) {
+                    p[s as usize].push(pid);
+                }
+            }
+            p
+        });
+        &preds[node as usize]
+    }
+}
+
+/// Shorthand for building a [`Violation`].
+fn violation(
+    invariant: Invariant,
+    round: Option<Round>,
+    worker: Option<usize>,
+    job: Option<JobId>,
+    message: String,
+) -> Violation {
+    Violation {
+        invariant,
+        round,
+        worker,
+        job,
+        message,
+    }
+}
+
+/// Full replay state for one certification.
+struct Replay<'a> {
+    instance: &'a Instance,
+    speed: Speed,
+    m: usize,
+    policy: Option<StealPolicy>,
+    unit_steals: bool,
+    fifo_admission: bool,
+    /// First round at which each job may execute (`arrival ≤ round start`).
+    eligible: Vec<Round>,
+    /// Next not-yet-released arrival index (jobs are arrival-sorted).
+    next_release: usize,
+    /// Released-but-unadmitted jobs, in release (= id) order.
+    queue: VecDeque<JobId>,
+    admitted: Vec<bool>,
+    /// Remaining unexecuted units per job.
+    remaining: Vec<u64>,
+    /// Admitted jobs that still have unexecuted units.
+    live_admitted: usize,
+    /// Consecutive failed steal attempts per worker (unit-step replay).
+    failed_steals: Vec<u64>,
+    first_work: Vec<Option<Round>>,
+    last_work: Vec<Option<Round>>,
+    ledger: NodeLedger,
+    // Action tallies for the P2 counter cross-check.
+    work_units: u64,
+    steal_actions: u64,
+    steal_hits: u64,
+    idle_units: u64,
+    admissions: u64,
+}
+
+impl<'a> Replay<'a> {
+    fn new(
+        instance: &'a Instance,
+        speed: Speed,
+        m: usize,
+        policy: Option<StealPolicy>,
+        cfg: &SimConfig,
+    ) -> Self {
+        let jobs = instance.jobs();
+        Replay {
+            instance,
+            speed,
+            m,
+            policy,
+            unit_steals: matches!(cfg.steal_cost, StealCost::UnitStep),
+            fifo_admission: matches!(cfg.admission, AdmissionOrder::Fifo),
+            eligible: jobs
+                .iter()
+                .map(|j| speed.first_round_at_or_after(j.arrival))
+                .collect(),
+            next_release: 0,
+            queue: VecDeque::new(),
+            admitted: vec![false; jobs.len()],
+            remaining: jobs.iter().map(|j| j.work()).collect(),
+            live_admitted: 0,
+            failed_steals: vec![0; m],
+            first_work: vec![None; jobs.len()],
+            last_work: vec![None; jobs.len()],
+            ledger: NodeLedger::new(instance),
+            work_units: 0,
+            steal_actions: 0,
+            steal_hits: 0,
+            idle_units: 0,
+            admissions: 0,
+        }
+    }
+
+    /// Move every job whose first eligible round is ≤ `r` into the queue.
+    fn release_arrivals(&mut self, r: Round) {
+        let n = self.instance.len();
+        while self.next_release < n && self.eligible[self.next_release] <= r {
+            // lint: allow(truncating-cast) JobId is u32; dense instance ids are u32 by construction
+            self.queue.push_back(self.next_release as JobId);
+            self.next_release += 1;
+        }
+    }
+
+    /// An RLE idle span covering rounds `[start, start + count)`. The
+    /// engines only fast-forward when the system is fully drained, so an
+    /// arrived-but-incomplete job anywhere inside the span breaks work
+    /// conservation (P2): every scheduler in this workspace is greedy.
+    fn idle_span(&mut self, start: Round, count: u64) -> Result<(), Violation> {
+        self.release_arrivals(start);
+        if self.live_admitted > 0 {
+            let job = self
+                .admitted
+                .iter()
+                .zip(&self.remaining)
+                .position(|(&a, &rem)| a && rem > 0)
+                // lint: allow(truncating-cast) JobId is u32; dense instance ids are u32 by construction
+                .map(|j| j as JobId);
+            return Err(violation(
+                Invariant::Capacity,
+                Some(start),
+                None,
+                job,
+                format!("idle span of {count} rounds while an admitted job is incomplete"),
+            ));
+        }
+        if let Some(&job) = self.queue.front() {
+            return Err(violation(
+                Invariant::Capacity,
+                Some(start),
+                None,
+                Some(job),
+                format!("idle span of {count} rounds while the global queue holds an arrived job"),
+            ));
+        }
+        // Arrivals whose first eligible round falls strictly inside the
+        // span: a greedy engine would have woken exactly at that round.
+        if self.next_release < self.instance.len() {
+            let j = self.next_release;
+            if self.eligible[j] < start + count {
+                return Err(violation(
+                    Invariant::Capacity,
+                    Some(self.eligible[j]),
+                    None,
+                    // lint: allow(truncating-cast) JobId is u32; dense instance ids are u32 by construction
+                    Some(j as JobId),
+                    "idle span covers a round in which a new job became eligible".to_string(),
+                ));
+            }
+        }
+        for c in &mut self.failed_steals {
+            *c = c.saturating_add(count);
+        }
+        self.idle_units += count * self.m as u64;
+        Ok(())
+    }
+
+    /// Record an admission of `job` by worker `p` at round `r` and check
+    /// policy conformance.
+    fn admit(&mut self, r: Round, p: usize, job: JobId) -> Result<(), Violation> {
+        if let Some(policy) = self.policy {
+            if self.fifo_admission {
+                match self.queue.front() {
+                    Some(&front) if front == job => {
+                        self.queue.pop_front();
+                    }
+                    Some(&front) => {
+                        return Err(violation(
+                            Invariant::Policy,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            format!("admitted out of FIFO order (queue front is job {front})"),
+                        ));
+                    }
+                    None => {
+                        return Err(violation(
+                            Invariant::Policy,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            "admitted from an empty global queue".to_string(),
+                        ));
+                    }
+                }
+            } else {
+                match self.queue.iter().position(|&q| q == job) {
+                    Some(pos) => {
+                        self.queue.remove(pos);
+                    }
+                    None => {
+                        return Err(violation(
+                            Invariant::Policy,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            "admitted a job that is not in the global queue".to_string(),
+                        ));
+                    }
+                }
+            }
+            if self.unit_steals {
+                if let StealPolicy::StealKFirst { k } = policy {
+                    let c = self.failed_steals[p];
+                    if c < k as u64 {
+                        return Err(violation(
+                            Invariant::Policy,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            format!("admitted after {c} consecutive failed steals (policy requires {k})"),
+                        ));
+                    }
+                }
+            }
+        } else if let Some(pos) = self.queue.iter().position(|&q| q == job) {
+            // Centralized engines have no admission policy to conform to;
+            // the queue only feeds the idle-span work-conservation check.
+            self.queue.remove(pos);
+        }
+        self.admitted[job as usize] = true;
+        self.live_admitted += 1;
+        self.admissions += 1;
+        self.first_work[job as usize] = Some(r);
+        // The engine clears the failed-steal streak on admission.
+        self.failed_steals[p] = 0;
+        Ok(())
+    }
+
+    /// One unit of work on `(job, node)` by worker `p` at round `r`.
+    fn work(
+        &mut self,
+        r: Round,
+        p: usize,
+        job: JobId,
+        node: NodeId,
+        this_round: &mut Vec<(JobId, NodeId)>,
+    ) -> Result<(), Violation> {
+        let j = job as usize;
+        let jobs = self.instance.jobs();
+        let Some(jref) = jobs.get(j) else {
+            return Err(violation(
+                Invariant::Precedence,
+                Some(r),
+                Some(p),
+                Some(job),
+                format!("work on unknown job (instance has {} jobs)", jobs.len()),
+            ));
+        };
+        if (node as usize) >= jref.dag.num_nodes() {
+            return Err(violation(
+                Invariant::Precedence,
+                Some(r),
+                Some(p),
+                Some(job),
+                format!("work on unknown node {node}"),
+            ));
+        }
+        if !self.speed.arrived_by_round(jref.arrival, r) {
+            return Err(violation(
+                Invariant::Precedence,
+                Some(r),
+                Some(p),
+                Some(job),
+                format!("executed before arrival at tick {}", jref.arrival),
+            ));
+        }
+        if this_round.contains(&(job, node)) {
+            return Err(violation(
+                Invariant::Precedence,
+                Some(r),
+                Some(p),
+                Some(job),
+                format!("node {node} executed on two processors in the same round"),
+            ));
+        }
+        this_round.push((job, node));
+        if !self.admitted[j] {
+            self.admit(r, p, job)?;
+        }
+        if self.ledger.executed[j][node as usize] == 0 {
+            let arrival_round = r;
+            for pi in 0..self.ledger.preds_of(self.instance, j, node).len() {
+                let pid = self.ledger.preds_of(self.instance, j, node)[pi];
+                match self.ledger.completed_in[j][pid as usize] {
+                    Some(cr) if cr < arrival_round => {}
+                    _ => {
+                        return Err(violation(
+                            Invariant::Precedence,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            format!("node {node} ran before predecessor {pid} completed"),
+                        ));
+                    }
+                }
+            }
+        }
+        let units = &mut self.ledger.executed[j][node as usize];
+        *units += 1;
+        let w = jref.dag.work(node);
+        if *units > w {
+            return Err(violation(
+                Invariant::Precedence,
+                Some(r),
+                Some(p),
+                Some(job),
+                format!("node {node} over-executed ({} units of {w})", *units),
+            ));
+        }
+        if *units == w {
+            self.ledger.completed_in[j][node as usize] = Some(r);
+        }
+        self.remaining[j] -= 1;
+        if self.remaining[j] == 0 {
+            self.live_admitted -= 1;
+        }
+        self.last_work[j] = Some(r);
+        self.work_units += 1;
+        // A failed-steal streak is *consecutive*: executing a unit of
+        // work clears it (the engine resets the counter on every work
+        // step, successful steal, and admission).
+        self.failed_steals[p] = 0;
+        Ok(())
+    }
+
+    /// One explicit busy row at round `r`.
+    fn busy_row(&mut self, r: Round, row: &[Action]) -> Result<(), Violation> {
+        if row.len() != self.m {
+            return Err(violation(
+                Invariant::Capacity,
+                Some(r),
+                None,
+                None,
+                format!(
+                    "row covers {} processors, machine has {}",
+                    row.len(),
+                    self.m
+                ),
+            ));
+        }
+        self.release_arrivals(r);
+        let mut this_round: Vec<(JobId, NodeId)> = Vec::new();
+        for (p, action) in row.iter().enumerate() {
+            match *action {
+                Action::Work { job, node } => self.work(r, p, job, node, &mut this_round)?,
+                Action::Admit { job } => {
+                    let arrived = self
+                        .instance
+                        .jobs()
+                        .get(job as usize)
+                        .is_some_and(|j| self.speed.arrived_by_round(j.arrival, r));
+                    if !arrived {
+                        return Err(violation(
+                            Invariant::Precedence,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            "admitted before arrival".to_string(),
+                        ));
+                    }
+                    if self.admitted[job as usize] {
+                        return Err(violation(
+                            Invariant::Policy,
+                            Some(r),
+                            Some(p),
+                            Some(job),
+                            "admitted twice".to_string(),
+                        ));
+                    }
+                    self.admit(r, p, job)?;
+                }
+                Action::Steal { hit } => self.steal(r, p, hit)?,
+                Action::Idle => self.idle_worker(r, p)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// A recorded steal attempt by worker `p` at round `r`.
+    fn steal(&mut self, r: Round, p: usize, hit: bool) -> Result<(), Violation> {
+        let Some(policy) = self.policy else {
+            return Err(violation(
+                Invariant::Policy,
+                Some(r),
+                Some(p),
+                None,
+                "steal action in a centralized trace".to_string(),
+            ));
+        };
+        if !self.unit_steals {
+            return Err(violation(
+                Invariant::Policy,
+                Some(r),
+                Some(p),
+                None,
+                "steal action recorded under the free steal-cost model".to_string(),
+            ));
+        }
+        if let Some(&front) = self.queue.front() {
+            match policy {
+                StealPolicy::AdmitFirst => {
+                    return Err(violation(
+                        Invariant::Policy,
+                        Some(r),
+                        Some(p),
+                        Some(front),
+                        "stole while the global queue is non-empty (admit-first)".to_string(),
+                    ));
+                }
+                StealPolicy::StealKFirst { k } => {
+                    let c = self.failed_steals[p];
+                    if c >= k as u64 {
+                        return Err(violation(
+                            Invariant::Policy,
+                            Some(r),
+                            Some(p),
+                            Some(front),
+                            format!(
+                                "stole with {c} ≥ k = {k} failed attempts while the queue is non-empty"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        self.steal_actions += 1;
+        if hit {
+            self.steal_hits += 1;
+            self.failed_steals[p] = 0;
+        } else {
+            self.failed_steals[p] = self.failed_steals[p].saturating_add(1);
+        }
+        Ok(())
+    }
+
+    /// A recorded idle by worker `p` at round `r` inside a busy row.
+    fn idle_worker(&mut self, r: Round, p: usize) -> Result<(), Violation> {
+        if self.policy.is_some() && !self.queue.is_empty() {
+            // Under free steals (both policies) and unit-step admit-first
+            // an idle-handed worker always reaches the admission attempt;
+            // unit-step steal-k idles never occur (the worker steals), so
+            // an idle there is only provably wrong past the k threshold.
+            let must_admit = !self.unit_steals
+                || match self.policy {
+                    Some(StealPolicy::AdmitFirst) => true,
+                    Some(StealPolicy::StealKFirst { k }) => self.failed_steals[p] >= k as u64,
+                    None => false,
+                };
+            if must_admit {
+                let front = self.queue.front().copied();
+                return Err(violation(
+                    Invariant::Policy,
+                    Some(r),
+                    Some(p),
+                    front,
+                    "worker idled while the global queue holds an admissible job".to_string(),
+                ));
+            }
+        }
+        self.idle_units += 1;
+        Ok(())
+    }
+}
+
+/// Certify a recorded run: replay `trace` against `instance` and
+/// cross-check `result` (invariants P1-P5, stopping at the first
+/// violation).
+///
+/// `policy` selects the P3 conformance model: `Some(_)` for
+/// work-stealing traces (the policy the engine was run with), `None` for
+/// centralized traces (which have no admission queue to conform to; P1,
+/// P2, P4 and P5 still apply in full).
+pub fn certify_run(
+    instance: &Instance,
+    cfg: &SimConfig,
+    policy: Option<StealPolicy>,
+    result: &SimResult,
+    trace: &ScheduleTrace,
+) -> CertReport {
+    let mut report = CertReport {
+        jobs: instance.len(),
+        ..CertReport::default()
+    };
+    let stats = &result.stats;
+    if !result.fault_events.is_empty()
+        || stats.crashed_workers > 0
+        || stats.injected_panics > 0
+        || stats.faulted_steps > 0
+        || stats.reinjected_tasks > 0
+    {
+        report.skipped =
+            Some("fault-injected run: the fault-free feasibility model does not apply".to_string());
+        return report;
+    }
+    // Configuration consistency: the three sources must agree before any
+    // per-round arithmetic can be trusted.
+    if trace.m != cfg.m || result.m != cfg.m {
+        report.violation = Some(violation(
+            Invariant::Capacity,
+            None,
+            None,
+            None,
+            format!(
+                "machine-size mismatch: config m={}, trace m={}, result m={}",
+                cfg.m, trace.m, result.m
+            ),
+        ));
+        return report;
+    }
+    if trace.speed != cfg.speed || result.speed != cfg.speed {
+        report.violation = Some(violation(
+            Invariant::Capacity,
+            None,
+            None,
+            None,
+            format!(
+                "speed mismatch: config {:?}, trace {:?}, result {:?}",
+                cfg.speed, trace.speed, result.speed
+            ),
+        ));
+        return report;
+    }
+
+    let speed = cfg.speed;
+    let mut replay = Replay::new(instance, speed, cfg.m, policy, cfg);
+    for (start, span) in trace.spans_with_rounds() {
+        let step = match span {
+            TraceSpan::Idle { count } => replay.idle_span(start, *count),
+            TraceSpan::Busy(row) => replay.busy_row(start, row),
+        };
+        if let Err(v) = step {
+            report.rounds = trace.num_rounds();
+            report.units = replay.work_units;
+            report.violation = Some(v);
+            return report;
+        }
+    }
+    report.rounds = trace.num_rounds();
+    report.units = replay.work_units;
+
+    // P1 completeness: every node of every job fully executed.
+    for (j, job) in instance.jobs().iter().enumerate() {
+        if replay.remaining[j] > 0 {
+            let node = replay.ledger.executed[j]
+                .iter()
+                .enumerate()
+                // lint: allow(truncating-cast) NodeId is u32; JobDag construction caps node count at u32 range
+                .find(|(nid, &units)| units < job.dag.work(*nid as NodeId))
+                // lint: allow(truncating-cast) NodeId is u32; JobDag construction caps node count at u32 range
+                .map(|(nid, _)| nid as NodeId);
+            report.violation = Some(violation(
+                Invariant::Precedence,
+                None,
+                None,
+                Some(job.id),
+                format!(
+                    "incomplete at end of trace: {} of {} units missing{}",
+                    replay.remaining[j],
+                    job.work(),
+                    node.map(|n| format!(" (first short node: {n})"))
+                        .unwrap_or_default()
+                ),
+            ));
+            return report;
+        }
+    }
+
+    // P2 counter cross-checks: trace tallies vs reported engine stats.
+    let mut counter_checks: Vec<(&str, u64, u64)> = vec![
+        ("work_steps", replay.work_units, stats.work_steps),
+        ("idle_steps", replay.idle_units, stats.idle_steps),
+    ];
+    if policy.is_some() {
+        counter_checks.push(("admissions", replay.admissions, stats.admissions));
+        if replay.unit_steals {
+            counter_checks.push(("steal_attempts", replay.steal_actions, stats.steal_attempts));
+            counter_checks.push((
+                "successful_steals",
+                replay.steal_hits,
+                stats.successful_steals,
+            ));
+        }
+    }
+    for (name, traced, reported) in counter_checks {
+        if traced != reported {
+            report.violation = Some(violation(
+                Invariant::Capacity,
+                None,
+                None,
+                None,
+                format!("trace shows {traced} {name}, engine reported {reported}"),
+            ));
+            return report;
+        }
+    }
+
+    // P4 flow accounting: recompute every outcome field from the trace.
+    if result.outcomes.len() != instance.len() {
+        report.violation = Some(violation(
+            Invariant::FlowAccounting,
+            None,
+            None,
+            None,
+            format!(
+                "{} outcomes reported for {} jobs",
+                result.outcomes.len(),
+                instance.len()
+            ),
+        ));
+        return report;
+    }
+    if result.total_rounds != trace.num_rounds() {
+        report.violation = Some(violation(
+            Invariant::FlowAccounting,
+            None,
+            None,
+            None,
+            format!(
+                "reported total_rounds {} but the trace covers {} rounds",
+                result.total_rounds,
+                trace.num_rounds()
+            ),
+        ));
+        return report;
+    }
+    let mut max_flow = Rational::from_int(0);
+    for (j, (job, outcome)) in instance.jobs().iter().zip(&result.outcomes).enumerate() {
+        let fail = |message: String| -> Violation {
+            violation(Invariant::FlowAccounting, None, None, Some(job.id), message)
+        };
+        if outcome.job != job.id || outcome.arrival != job.arrival || outcome.weight != job.weight {
+            report.violation = Some(fail(format!(
+                "outcome identity mismatch (job {} arrival {} weight {})",
+                outcome.job, outcome.arrival, outcome.weight
+            )));
+            return report;
+        }
+        if outcome.status != JobStatus::Completed {
+            report.violation = Some(fail(format!(
+                "fault-free run reported non-completed status {:?}",
+                outcome.status
+            )));
+            return report;
+        }
+        let (Some(first), Some(last)) = (replay.first_work[j], replay.last_work[j]) else {
+            // Unreachable: completeness above guarantees ≥ 1 unit ran.
+            report.violation = Some(fail("job has no work in the trace".to_string()));
+            return report;
+        };
+        if outcome.start_round != first {
+            report.violation = Some(fail(format!(
+                "reported start_round {} but first trace work is in round {first}",
+                outcome.start_round
+            )));
+            return report;
+        }
+        if outcome.completion_round != last {
+            report.violation = Some(fail(format!(
+                "reported completion_round {} but last trace work is in round {last}",
+                outcome.completion_round
+            )));
+            return report;
+        }
+        let completion = speed.round_end(last);
+        if outcome.completion != completion {
+            report.violation = Some(fail(format!(
+                "reported completion {:?} but round {last} ends at {completion:?}",
+                outcome.completion
+            )));
+            return report;
+        }
+        let flow = speed.flow_time(job.arrival, last);
+        if outcome.flow != flow {
+            report.violation = Some(fail(format!(
+                "reported flow {:?} but the trace yields {flow:?}",
+                outcome.flow
+            )));
+            return report;
+        }
+        if flow > max_flow {
+            max_flow = flow;
+        }
+    }
+
+    // P5 lower-bound sanity. Per job: a span of `P_i` units serializes
+    // over ≥ P_i rounds, so F_i ≥ P_i / s at any speed s. Globally at
+    // speed 1: no schedule beats OPT's own lower bound max(W/m, span).
+    for (j, job) in instance.jobs().iter().enumerate() {
+        let span_bound = Rational::new(
+            job.span() as i128 * speed.den() as i128,
+            speed.num() as i128,
+        );
+        let flow = result.outcomes[j].flow;
+        if flow < span_bound {
+            report.violation = Some(violation(
+                Invariant::LowerBound,
+                None,
+                None,
+                Some(job.id),
+                format!(
+                    "flow {:?} beats the span bound {span_bound:?} (span {} at speed {}/{})",
+                    flow,
+                    job.span(),
+                    speed.num(),
+                    speed.den()
+                ),
+            ));
+            return report;
+        }
+    }
+    if speed == Speed::ONE && !instance.is_empty() {
+        let bound = combined_lower_bound(instance, cfg.m);
+        if max_flow < bound {
+            report.violation = Some(violation(
+                Invariant::LowerBound,
+                None,
+                None,
+                None,
+                format!("observed max flow {max_flow:?} beats the OPT lower bound {bound:?}"),
+            ));
+            return report;
+        }
+    }
+    report
+}
+
+/// P5-only certification for streaming runs, where no trace is retained:
+/// at speed 1 the exact streamed max flow must dominate the incremental
+/// OPT lower bound computed over the same arrivals.
+///
+/// Speed-augmented runs are vacuously clean here (the bound constrains
+/// the speed-1 adversary, which an augmented schedule may legitimately
+/// beat); materialized certification covers those paths in full.
+pub fn certify_stream_summary(
+    speed: Speed,
+    jobs: u64,
+    max_flow: Rational,
+    opt_bound: Rational,
+) -> CertReport {
+    let mut report = CertReport {
+        jobs: jobs as usize,
+        ..CertReport::default()
+    };
+    if jobs > 0 && speed == Speed::ONE && max_flow < opt_bound {
+        report.violation = Some(violation(
+            Invariant::LowerBound,
+            None,
+            None,
+            None,
+            format!("streamed max flow {max_flow:?} beats the OPT lower bound {opt_bound:?}"),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parflow_core::{run_priority, run_worksteal, Fifo};
+    use parflow_dag::{shapes, Job};
+    use std::sync::Arc;
+
+    fn two_job_instance() -> Instance {
+        Instance::new(vec![
+            Job::new(0, 0, Arc::new(shapes::chain(3, 1))),
+            Job::new(1, 2, Arc::new(shapes::fork_join(2, 2))),
+        ])
+    }
+
+    #[test]
+    fn worksteal_run_certifies_clean() {
+        let inst = two_job_instance();
+        let cfg = SimConfig::new(2).with_trace();
+        let (result, trace) = run_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 7);
+        let trace = trace.expect("trace recording was requested");
+        let report = certify_run(&inst, &cfg, Some(StealPolicy::AdmitFirst), &result, &trace);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.jobs, 2);
+        assert!(report.units > 0);
+    }
+
+    #[test]
+    fn fifo_run_certifies_clean() {
+        let inst = two_job_instance();
+        let cfg = SimConfig::new(2).with_trace();
+        let (result, trace) = run_priority(&inst, &cfg, &Fifo);
+        let trace = trace.expect("trace recording was requested");
+        let report = certify_run(&inst, &cfg, None, &result, &trace);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn stream_summary_bound_violation_is_p5() {
+        let report =
+            certify_stream_summary(Speed::ONE, 10, Rational::from_int(3), Rational::from_int(5));
+        let v = report.violation.expect("3 < 5 must violate P5");
+        assert_eq!(v.invariant, Invariant::LowerBound);
+        assert!(certify_stream_summary(
+            Speed::ONE,
+            10,
+            Rational::from_int(5),
+            Rational::from_int(5)
+        )
+        .is_clean());
+        // Augmented runs may beat the speed-1 bound.
+        assert!(certify_stream_summary(
+            Speed::new(3, 2),
+            10,
+            Rational::from_int(3),
+            Rational::from_int(5)
+        )
+        .is_clean());
+    }
+}

@@ -1,0 +1,319 @@
+//! Mutation harness for the certifier.
+//!
+//! Two obligations, mirroring docs/STATIC_ANALYSIS.md:
+//!
+//! 1. **Soundness on real schedules** — every trace produced by the
+//!    engines across random instances, policies, steal-cost models and
+//!    speeds certifies clean (property test).
+//! 2. **Sensitivity to corruption** — each deliberate mutation of a
+//!    known-clean trace/result is rejected with *exactly one* diagnostic
+//!    (the certifier stops at the first violation by construction) that
+//!    names the *right* invariant and locus. A certifier that flags the
+//!    downstream cascade instead of the root cause fails these tests.
+
+use parflow_certify::{certify_run, certify_stream_summary, CertReport, Invariant};
+use parflow_core::{
+    run_priority, run_worksteal, Action, Fifo, ScheduleTrace, SimConfig, SimResult, StealPolicy,
+};
+use parflow_dag::{shapes, Instance, Job};
+use parflow_time::{Rational, Speed};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random small instance of mixed DAG shapes and arrival patterns
+/// (same population as the differential suites).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (any::<u64>(), 1usize..8, 0u64..60).prop_map(|(seed, njobs, spread)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let jobs = (0..njobs)
+            .map(|i| {
+                let arrival = if spread == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=spread)
+                };
+                let dag = match rng.gen_range(0..4u8) {
+                    0 => shapes::single_node(rng.gen_range(1..25)),
+                    1 => shapes::chain(rng.gen_range(1..5), rng.gen_range(1..5)),
+                    2 => shapes::parallel_for(rng.gen_range(1..30), rng.gen_range(1..6)),
+                    _ => shapes::fork_join(rng.gen_range(0..4), rng.gen_range(1..5)),
+                };
+                Job::weighted(i as u32, arrival, rng.gen_range(1..8u64), Arc::new(dag))
+            })
+            .collect();
+        Instance::new(jobs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every engine-produced trace certifies clean: work stealing across
+    /// both policies and steal-cost models, and centralized FIFO,
+    /// including speed augmentation.
+    #[test]
+    fn engine_traces_certify_clean(
+        inst in arb_instance(),
+        m in 1usize..5,
+        k in 0u32..4,
+        free in any::<bool>(),
+        fast in any::<bool>(),
+        seed in any::<u64>()
+    ) {
+        let mut cfg = SimConfig::new(m).with_trace();
+        if free {
+            cfg = cfg.with_free_steals();
+        }
+        if fast {
+            cfg = cfg.with_speed(Speed::new(11, 10));
+        }
+        let policy = if k == 0 {
+            StealPolicy::AdmitFirst
+        } else {
+            StealPolicy::StealKFirst { k }
+        };
+        let (result, trace) = run_worksteal(&inst, &cfg, policy, seed);
+        let trace = trace.expect("trace requested");
+        let report = certify_run(&inst, &cfg, Some(policy), &result, &trace);
+        prop_assert!(report.is_clean(), "worksteal: {}", report.render());
+        prop_assert_eq!(report.jobs, inst.len());
+
+        let fifo_cfg = SimConfig::new(m)
+            .with_speed(cfg.speed)
+            .with_trace();
+        let (result, trace) = run_priority(&inst, &fifo_cfg, &Fifo);
+        let trace = trace.expect("trace requested");
+        let report = certify_run(&inst, &fifo_cfg, None, &result, &trace);
+        prop_assert!(report.is_clean(), "fifo: {}", report.render());
+    }
+}
+
+/// One clean, fully deterministic baseline: a 3-node chain job on one
+/// machine under admit-first (trace `[W(0,0)], [W(0,1)], [W(0,2)]`).
+fn chain_baseline() -> (Instance, SimConfig, SimResult, ScheduleTrace) {
+    let inst = Instance::new(vec![Job::new(0, 0, Arc::new(shapes::chain(3, 1)))]);
+    let cfg = SimConfig::new(1).with_trace();
+    let (result, trace) = run_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1);
+    let trace = trace.expect("trace requested");
+    let report = certify_run(&inst, &cfg, Some(StealPolicy::AdmitFirst), &result, &trace);
+    assert!(
+        report.is_clean(),
+        "baseline must be clean: {}",
+        report.render()
+    );
+    (inst, cfg, result, trace)
+}
+
+/// Certify the mutated pair and return the single diagnostic.
+fn expect_violation(
+    inst: &Instance,
+    cfg: &SimConfig,
+    result: &SimResult,
+    trace: &ScheduleTrace,
+) -> parflow_certify::Violation {
+    let report = certify_run(inst, cfg, Some(StealPolicy::AdmitFirst), result, trace);
+    let rendered = report.render();
+    report
+        .violation
+        .unwrap_or_else(|| panic!("mutation must be rejected: {rendered}"))
+}
+
+/// Mutation 1: swap two busy spans. Units of a chain now execute out of
+/// DAG order — a P1 precedence violation at the earlier round.
+#[test]
+fn swapped_spans_violate_precedence() {
+    let (inst, cfg, result, trace) = chain_baseline();
+    let mut rows = trace.to_dense();
+    rows.swap(0, 1);
+    let mutated = ScheduleTrace::from_dense(trace.m, trace.speed, rows);
+    let v = expect_violation(&inst, &cfg, &result, &mutated);
+    assert_eq!(v.invariant, Invariant::Precedence, "{v}");
+    assert_eq!(v.round, Some(0), "{v}");
+    assert_eq!(v.job, Some(0), "{v}");
+    assert!(v.message.contains("predecessor"), "{v}");
+}
+
+/// Mutation 2: drop a completion. The final unit of the job never
+/// executes — P1 work conservation, attributed to the job and the short
+/// node.
+#[test]
+fn dropped_completion_violates_precedence_completeness() {
+    let (inst, cfg, result, trace) = chain_baseline();
+    let mut rows = trace.to_dense();
+    rows.pop();
+    let mutated = ScheduleTrace::from_dense(trace.m, trace.speed, rows);
+    let v = expect_violation(&inst, &cfg, &result, &mutated);
+    assert_eq!(v.invariant, Invariant::Precedence, "{v}");
+    assert_eq!(v.job, Some(0), "{v}");
+    assert!(v.message.contains("incomplete"), "{v}");
+}
+
+/// Mutation 3: exceed capacity. A round row with m+1 busy processors is
+/// rejected as P2 at exactly that round.
+#[test]
+fn exceeded_capacity_violates_capacity() {
+    let (inst, cfg, result, trace) = chain_baseline();
+    let mut rows = trace.to_dense();
+    rows[1].push(Action::Work { job: 0, node: 1 });
+    let mutated = ScheduleTrace::from_dense(trace.m, trace.speed, rows);
+    let v = expect_violation(&inst, &cfg, &result, &mutated);
+    assert_eq!(v.invariant, Invariant::Capacity, "{v}");
+    assert_eq!(v.round, Some(1), "{v}");
+    assert!(v.message.contains("row covers 2 processors"), "{v}");
+}
+
+/// Mutation 4: reorder a precedence pair onto one round. Running a chain
+/// successor in the same round as its predecessor (two processors) is a
+/// P1 violation — rounds are atomic time steps.
+#[test]
+fn same_round_pair_violates_precedence() {
+    let inst = Instance::new(vec![Job::new(0, 0, Arc::new(shapes::chain(2, 1)))]);
+    let cfg = SimConfig::new(2).with_trace();
+    let (result, trace) = run_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1);
+    let trace = trace.expect("trace requested");
+    assert!(certify_run(&inst, &cfg, Some(StealPolicy::AdmitFirst), &result, &trace).is_clean());
+    // Compress the two sequential rounds into one parallel round.
+    let rows = vec![vec![
+        Action::Work { job: 0, node: 0 },
+        Action::Work { job: 0, node: 1 },
+    ]];
+    let mutated = ScheduleTrace::from_dense(trace.m, trace.speed, rows);
+    let v = expect_violation(&inst, &cfg, &result, &mutated);
+    assert_eq!(v.invariant, Invariant::Precedence, "{v}");
+    assert_eq!(v.round, Some(0), "{v}");
+    assert_eq!(v.worker, Some(1), "{v}");
+    assert!(v.message.contains("predecessor"), "{v}");
+}
+
+/// Mutation 5: corrupt a reported flow. The trace is untouched; the
+/// result's flow disagrees with the recomputation — P4, attributed to
+/// the job.
+#[test]
+fn corrupted_flow_violates_flow_accounting() {
+    let (inst, cfg, mut result, trace) = chain_baseline();
+    result.outcomes[0].flow += Rational::from_int(1);
+    let v = expect_violation(&inst, &cfg, &result, &trace);
+    assert_eq!(v.invariant, Invariant::FlowAccounting, "{v}");
+    assert_eq!(v.job, Some(0), "{v}");
+    assert!(v.message.contains("flow"), "{v}");
+}
+
+/// Mutation 6: inflate the claimed performance past the OPT bound. A
+/// summary whose max flow undercuts the independently computed lower
+/// bound is impossible — P5. (A *trace* that beats OPT necessarily
+/// breaks P1/P2 first; the paper's bound is exactly why.)
+#[test]
+fn max_flow_below_opt_bound_violates_lower_bound() {
+    let report = certify_stream_summary(
+        Speed::ONE,
+        1_000,
+        Rational::new(7, 2),
+        Rational::from_int(4),
+    );
+    let v = report.violation.expect("7/2 < 4 must violate P5");
+    assert_eq!(v.invariant, Invariant::LowerBound, "{v}");
+    assert!(v.message.contains("OPT lower bound"), "{v}");
+    // The boundary itself is feasible.
+    assert!(certify_stream_summary(
+        Speed::ONE,
+        1_000,
+        Rational::from_int(4),
+        Rational::from_int(4)
+    )
+    .is_clean());
+}
+
+/// Mutation 7 (policy): a worker idles inside a busy round while the
+/// global queue still holds an admissible job — breaks admit-first
+/// work conservation, P3 at that round and worker, naming the waiting
+/// queue-front job.
+#[test]
+fn idle_past_nonempty_queue_violates_policy() {
+    let inst = Instance::new(vec![
+        Job::new(0, 0, Arc::new(shapes::single_node(1))),
+        Job::new(1, 0, Arc::new(shapes::single_node(1))),
+        Job::new(2, 0, Arc::new(shapes::single_node(1))),
+    ]);
+    let cfg = SimConfig::new(2).with_trace();
+    let (result, trace) = run_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 1);
+    let trace = trace.expect("trace requested");
+    assert!(certify_run(&inst, &cfg, Some(StealPolicy::AdmitFirst), &result, &trace).is_clean());
+    // Delay job 1 by one round: worker 1 now idles at round 0 while the
+    // queue holds jobs 1 and 2.
+    let rows = vec![
+        vec![Action::Work { job: 0, node: 0 }, Action::Idle],
+        vec![
+            Action::Work { job: 2, node: 0 },
+            Action::Work { job: 1, node: 0 },
+        ],
+    ];
+    let mutated = ScheduleTrace::from_dense(trace.m, trace.speed, rows);
+    let v = expect_violation(&inst, &cfg, &result, &mutated);
+    assert_eq!(v.invariant, Invariant::Policy, "{v}");
+    assert_eq!(v.round, Some(0), "{v}");
+    assert_eq!(v.worker, Some(1), "{v}");
+    assert_eq!(v.job, Some(1), "{v}");
+}
+
+/// Mutation 8 (policy): the same trace certified against a stricter
+/// declared policy. An admit-first schedule admits long before k = 5
+/// failed steals — P3 at the admission.
+#[test]
+fn premature_admission_violates_steal_k_policy() {
+    let (inst, cfg, result, trace) = chain_baseline();
+    let report = certify_run(
+        &inst,
+        &cfg,
+        Some(StealPolicy::StealKFirst { k: 5 }),
+        &result,
+        &trace,
+    );
+    let v = report.violation.expect("k=5 conformance must fail");
+    assert_eq!(v.invariant, Invariant::Policy, "{v}");
+    assert_eq!(v.round, Some(0), "{v}");
+    assert_eq!(v.worker, Some(0), "{v}");
+    assert_eq!(v.job, Some(0), "{v}");
+    assert!(v.message.contains("failed steals"), "{v}");
+}
+
+/// Faulted runs are skipped, not certified — and never reported clean.
+#[test]
+fn faulted_runs_are_skipped_not_certified() {
+    use parflow_core::FaultPlan;
+    let inst = Instance::new(vec![Job::new(0, 0, Arc::new(shapes::parallel_for(8, 2)))]);
+    let cfg = SimConfig::new(3)
+        .with_trace()
+        .with_faults(FaultPlan::none().crash(1, 2));
+    let (result, trace) = run_worksteal(&inst, &cfg, StealPolicy::AdmitFirst, 9);
+    let trace = trace.expect("trace requested");
+    let report = certify_run(&inst, &cfg, Some(StealPolicy::AdmitFirst), &result, &trace);
+    assert!(report.skipped.is_some(), "{}", report.render());
+    assert!(report.violation.is_none());
+    assert!(!report.is_clean());
+}
+
+/// The report renders violations with full attribution (round, worker,
+/// job, invariant code) for CI logs.
+#[test]
+fn report_rendering_names_the_locus() {
+    let (inst, cfg, result, trace) = chain_baseline();
+    let mut rows = trace.to_dense();
+    rows.swap(0, 1);
+    let mutated = ScheduleTrace::from_dense(trace.m, trace.speed, rows);
+    let report = certify_run(
+        &inst,
+        &cfg,
+        Some(StealPolicy::AdmitFirst),
+        &result,
+        &mutated,
+    );
+    let line = report.render();
+    assert!(line.contains("VIOLATION"), "{line}");
+    assert!(line.contains("P1 precedence"), "{line}");
+    assert!(line.contains("round 0"), "{line}");
+    assert!(line.contains("job 0"), "{line}");
+    let clean = CertReport::default();
+    assert!(clean.render().contains("clean"), "{}", clean.render());
+}

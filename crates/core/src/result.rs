@@ -151,6 +151,7 @@ impl SimResult {
         if self.outcomes.is_empty() {
             return 0.0;
         }
+        // lint: allow(float-determinism) sums outcomes in job-id order; Vec iteration order is fixed
         self.outcomes.iter().map(|o| o.flow.to_f64()).sum::<f64>() / self.outcomes.len() as f64
     }
 

@@ -203,6 +203,23 @@ impl ScheduleTrace {
         })
     }
 
+    /// Iterate spans together with the round at which each span starts.
+    ///
+    /// Replay-style consumers (the certifier, renderers) need absolute
+    /// round numbers without materializing RLE idle gaps; this keeps the
+    /// running offset in one place instead of at every call site.
+    pub fn spans_with_rounds(&self) -> impl Iterator<Item = (Round, &TraceSpan)> {
+        let mut r: Round = 0;
+        self.spans.iter().map(move |s| {
+            let start = r;
+            r += match s {
+                TraceSpan::Busy(_) => 1,
+                TraceSpan::Idle { count } => *count,
+            };
+            (start, s)
+        })
+    }
+
     /// Expand to the dense `rounds[r][p]` form (idle spans materialized).
     pub fn to_dense(&self) -> Vec<Vec<Action>> {
         let mut out = Vec::new();

@@ -122,6 +122,7 @@ impl DagCursor {
     fn remove_from_ready(&mut self, v: NodeId) {
         let pos = self.ready_pos[v as usize] as usize;
         debug_assert!(pos != NOT_IN_READY as usize);
+        // lint: allow(panicking) invariant: v is in the ready set (ready_pos checked above), so ready is non-empty
         let last = *self.ready.last().expect("ready set empty");
         self.ready.swap_remove(pos);
         if last != v {

@@ -27,16 +27,29 @@ pub struct RuleCfg {
     pub paths: Vec<String>,
     /// `(path, reason)` pairs exempting whole files from the rule.
     pub allow_files: Vec<(String, String)>,
+    /// Function names treated as roots of the call-graph reachability
+    /// pass (only meaningful on `[panicking]`): panicking calls in any
+    /// function *reachable* from an entry point are flagged even when
+    /// the containing file is outside `paths`.
+    pub entry_points: Vec<String>,
 }
 
 impl RuleCfg {
+    /// Is `rel_path` under one of this rule's `paths` entries?
+    pub fn in_paths(&self, rel_path: &str) -> bool {
+        self.paths
+            .iter()
+            .any(|p| rel_path == p || rel_path.starts_with(&format!("{p}/")))
+    }
+
+    /// Is `rel_path` exempted wholesale by `allow-files`?
+    pub fn is_allow_filed(&self, rel_path: &str) -> bool {
+        self.allow_files.iter().any(|(p, _)| p == rel_path)
+    }
+
     /// Does this rule govern `rel_path` (and not exempt it)?
     pub fn applies_to(&self, rel_path: &str) -> bool {
-        let in_scope = self
-            .paths
-            .iter()
-            .any(|p| rel_path == p || rel_path.starts_with(&format!("{p}/")));
-        in_scope && !self.allow_files.iter().any(|(p, _)| p == rel_path)
+        self.in_paths(rel_path) && !self.is_allow_filed(rel_path)
     }
 }
 
@@ -145,10 +158,13 @@ impl Config {
                             .push((path.to_string(), reason.to_string()));
                     }
                 }
+                "entry-points" => entry.entry_points = items,
                 other => {
                     return Err(ConfigError {
                         line: lineno,
-                        msg: format!("unknown key `{other}` (expected paths/allow-files)"),
+                        msg: format!(
+                            "unknown key `{other}` (expected paths/allow-files/entry-points)"
+                        ),
                     });
                 }
             }

@@ -1,6 +1,6 @@
 //! # parflow-lint
 //!
-//! Project-specific static analysis for the parflow workspace. Four rules
+//! Project-specific static analysis for the parflow workspace. The rules
 //! protect the invariants every golden, differential and RNG-stream claim
 //! in this repo rests on:
 //!
@@ -10,9 +10,22 @@
 //!   counter/accumulator widths (the PR 3 `failed_steals` u32-saturation
 //!   family);
 //! * **L3 `panicking`** — no `unwrap`/`expect`/panicking percentile calls
-//!   in engine hot paths and worker loops;
+//!   in engine hot paths and worker loops, *including* helpers reachable
+//!   from the declared engine entry points through the workspace call
+//!   graph (see [`callgraph`]);
 //! * **L4 `rng`** — only declared files may construct or advance a seeded
-//!   RNG stream.
+//!   RNG stream;
+//! * **L5 `counter-overflow`** — telemetry counters accumulate with
+//!   saturating/checked arithmetic, never bare `+=`;
+//! * **L6 `float-determinism`** — no order-dependent float accumulation
+//!   in golden-compared paths;
+//! * **`unused-allow`** — inline allows that no longer suppress anything
+//!   fail the lint.
+//!
+//! The linter runs in two passes: pass 1 lexes every collected file and
+//! applies the file-scoped rules; pass 2 builds a lightweight function
+//! call graph from the same lexer output and applies the reachability
+//! form of L3, then audits the inline allows.
 //!
 //! Scope and file-level exemptions live in the workspace-root `lint.toml`;
 //! individual sites are excused with `// lint: allow(<rule>) <reason>`.
@@ -24,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod rules;
@@ -34,37 +48,56 @@ pub use rules::{Diagnostic, RULES};
 use std::collections::BTreeSet;
 use std::path::Path;
 
-/// Lint one in-memory file (used by the fixture self-tests).
+/// Lint a set of in-memory files as one workspace: file-scoped rules on
+/// each file, then the call-graph reachability pass and the unused-allow
+/// audit across the whole set. Diagnostics come back sorted by
+/// (file, line, rule) — the linter's own output order is deterministic by
+/// construction.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    let scrubbed: Vec<lexer::Scrubbed> = files.iter().map(|(_, s)| lexer::scrub(s)).collect();
+    let mut used = rules::UsedAllows::default();
+    let mut out = Vec::new();
+    for ((rel, source), scr) in files.iter().zip(&scrubbed) {
+        out.extend(rules::lint_file(rel, source, scr, cfg, &mut used));
+    }
+    out.extend(callgraph::transitive_panicking(
+        files, &scrubbed, cfg, &mut used,
+    ));
+    out.extend(rules::unused_allows(files, &scrubbed, cfg, &used));
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out.dedup();
+    out
+}
+
+/// Lint one in-memory file (used by the fixture self-tests). Single-file
+/// shorthand for [`lint_files`]; the call-graph pass sees only this file.
 pub fn lint_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
-    let scr = lexer::scrub(source);
-    rules::lint_file(rel_path, source, &scr, cfg)
+    lint_files(&[(rel_path.to_string(), source.to_string())], cfg)
 }
 
 /// Walk the workspace under `root` and lint every `.rs` file any rule
-/// scopes. Diagnostics come back sorted by (file, line, rule) — the
-/// linter's own output order is deterministic by construction.
+/// scopes (the union of all scopes is also the call-graph universe).
 pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
     // Union of every rule's scope, deduplicated and ordered.
-    let mut files: BTreeSet<String> = BTreeSet::new();
+    let mut names: BTreeSet<String> = BTreeSet::new();
     for rule in cfg.rules.values() {
         for p in &rule.paths {
             let abs = root.join(p);
             if abs.is_file() {
-                files.insert(p.clone());
+                names.insert(p.clone());
             } else if abs.is_dir() {
-                collect_rs(&abs, root, &mut files)?;
+                collect_rs(&abs, root, &mut names)?;
             }
             // Nonexistent scope entries are tolerated: scopes describe
             // intent and files move between PRs.
         }
     }
-    let mut out = Vec::new();
-    for rel in &files {
-        let source = std::fs::read_to_string(root.join(rel))?;
-        out.extend(lint_source(rel, &source, cfg));
+    let mut files = Vec::with_capacity(names.len());
+    for rel in names {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        files.push((rel, source));
     }
-    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(out)
+    Ok(lint_files(&files, cfg))
 }
 
 fn collect_rs(dir: &Path, root: &Path, out: &mut BTreeSet<String>) -> std::io::Result<()> {

@@ -1,22 +1,27 @@
 //! `parflow-lint` — run the workspace lint and exit nonzero on findings.
 //!
 //! ```text
-//! parflow-lint [--root DIR] [--config FILE] [--quiet]
+//! parflow-lint [--root DIR] [--config FILE] [--json PATH] [--quiet]
 //! ```
 //!
 //! With no flags the workspace root is the nearest ancestor directory
 //! containing `lint.toml`. Every diagnostic prints as
-//! `path:line: [rule] message`; exit status is 1 when any violation is
-//! found, 2 on usage/configuration errors.
+//! `path:line: [rule] message`; `--json PATH` additionally writes the
+//! diagnostics as a JSON array (for CI annotation uploads) whether or
+//! not any were found. Exit status is 1 when any violation is found, 2
+//! on usage/configuration errors.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: parflow-lint [--root DIR] [--config FILE] [--json PATH] [--quiet]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,9 +34,13 @@ fn main() -> ExitCode {
                 Some(v) => config = Some(PathBuf::from(v)),
                 None => return usage("--config needs a file"),
             },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs an output path"),
+            },
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
-                println!("usage: parflow-lint [--root DIR] [--config FILE] [--quiet]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown flag `{other}`")),
@@ -64,6 +73,11 @@ fn main() -> ExitCode {
         Ok(d) => d,
         Err(e) => return fail(&format!("walk failed: {e}")),
     };
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, render_json(&diags)) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
     if diags.is_empty() {
         if !quiet {
             println!("parflow-lint: clean ({} rules)", cfg.rules.len());
@@ -78,8 +92,46 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("parflow-lint: {msg}\nusage: parflow-lint [--root DIR] [--config FILE] [--quiet]");
+    eprintln!("parflow-lint: {msg}\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// Render diagnostics as a JSON array (hand-rolled: the workspace builds
+/// offline, so no serde here).
+fn render_json(diags: &[parflow_lint::Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {}}}{}\n",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule),
+            json_str(&d.message),
+            json_str(&d.snippet),
+            if i + 1 < diags.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fail(msg: &str) -> ExitCode {

@@ -1,0 +1,22 @@
+//! Fixture: wrapping counter accumulation in telemetry code.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+struct Counters {
+    hits: u64,
+}
+
+fn record(c: &mut Counters, delta: u64, extra: u64) {
+    c.hits += delta;
+    *entry(c).or_insert(0) += extra;
+    // lint: allow(counter-overflow) fixture: bounded by the batch size checked above
+    c.hits += 1;
+    c.hits = c.hits.saturating_add(delta); // saturating form must NOT be reported
+    let label = "x += y"; // cast text inside a string literal is scrubbed
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(c: &mut Counters) {
+        c.hits += 99; // test code is exempt
+    }
+}

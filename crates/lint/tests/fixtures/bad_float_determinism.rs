@@ -1,0 +1,12 @@
+//! Fixture: order-dependent float accumulation in a golden-compared path.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+fn aggregate(vals: &[f64], xs: &[f32]) -> f64 {
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let narrow = xs.iter().sum::<f32>() as f64;
+    let prod = vals.iter().product::<f64>();
+    // lint: allow(float-determinism) fixture: slice is index-ordered, order pinned
+    let pinned = vals.iter().sum::<f64>();
+    let ints: u64 = counts.iter().sum::<u64>(); // integer sums are exact — must NOT be reported
+    mean + narrow + prod + pinned + ints as f64
+}

@@ -1,0 +1,6 @@
+//! Fixture: an engine entry point whose helpers live in another file.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+pub fn run_worksteal(inst: &Instance) -> u64 {
+    step_round(inst)
+}

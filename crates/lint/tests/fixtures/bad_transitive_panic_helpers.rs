@@ -1,0 +1,22 @@
+//! Fixture: helpers reachable (and not) from the entry point in
+//! `bad_transitive_panic_entry.rs`. Exercised by `tests/selftest.rs`;
+//! never compiled.
+
+pub fn step_round(inst: &Instance) -> u64 {
+    let v = pick(inst);
+    let w = excused(Some(v));
+    v.checked_mul(w).unwrap()
+}
+
+fn pick(inst: &Instance) -> u64 {
+    *inst.jobs.first().expect("instance non-empty")
+}
+
+fn excused(x: Option<u64>) -> u64 {
+    // lint: allow(panicking) invariant: caller passes Some by construction
+    x.unwrap()
+}
+
+fn orphan_helper(x: Option<u64>) -> u64 {
+    x.unwrap() // unreachable from any entry point — must NOT be reported
+}

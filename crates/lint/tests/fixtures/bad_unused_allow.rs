@@ -1,0 +1,14 @@
+//! Fixture: stale and malformed inline allow annotations.
+//! Exercised by `tests/selftest.rs`; never compiled.
+
+fn quiet() -> u64 {
+    // lint: allow(panicking) nothing on this or the next line panics
+    let x = 1;
+    // lint: allow(no-such-rule) the rule name is wrong
+    let y = 2;
+    // lint: allow(panicking)
+    let z = o.unwrap();
+    // lint: allow(panicking) fixture: this one IS used and must NOT be reported
+    let w = o.unwrap();
+    x + y + z + w
+}

@@ -8,7 +8,7 @@
 //! making `cargo test` itself fail if a violation lands without a reasoned
 //! allow — the linter is self-enforcing, not CI-only.
 
-use parflow_lint::{lint_source, Config};
+use parflow_lint::{lint_files, lint_source, Config};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -171,6 +171,113 @@ fn rng_fixture_exact_diagnostics() {
             // line 11: reasoned allow.
         ],
     );
+}
+
+#[test]
+fn counter_overflow_fixture_exact_diagnostics() {
+    let d = run("counter-overflow", "bad_counter_overflow.rs");
+    expect(
+        &d,
+        &[
+            (9, "saturating_add"),
+            (10, "saturating_add"),
+            // line 12: reasoned allow on line 11 — excused; line 13 uses
+            // the saturating form; line 14 hides `+=` in a string; the
+            // `#[cfg(test)]` region is masked entirely.
+        ],
+    );
+}
+
+#[test]
+fn float_determinism_fixture_exact_diagnostics() {
+    let d = run("float-determinism", "bad_float_determinism.rs");
+    expect(
+        &d,
+        &[
+            (5, "sum::<f64>"),
+            (6, "sum::<f32>"),
+            (7, "product::<f64>"),
+            // line 9: reasoned allow on line 8 — excused; line 10 sums
+            // integers (exact, order-independent) — not reported.
+        ],
+    );
+}
+
+#[test]
+fn transitive_panic_fixtures_exact_diagnostics() {
+    // No `paths` scope at all: every diagnostic below comes from the
+    // call-graph reachability pass rooted at `run_worksteal`, which
+    // lives in a different file than the panicking helpers.
+    let cfg = Config::parse(
+        "[panicking]\nentry-points = [\"run_worksteal\"]\n\
+         [unused-allow]\npaths = [\"bad_transitive_panic_helpers.rs\"]\n",
+    )
+    .expect("config");
+    let files = vec![
+        (
+            "bad_transitive_panic_entry.rs".to_string(),
+            fixture("bad_transitive_panic_entry.rs"),
+        ),
+        (
+            "bad_transitive_panic_helpers.rs".to_string(),
+            fixture("bad_transitive_panic_helpers.rs"),
+        ),
+    ];
+    let d = lint_files(&files, &cfg);
+    let got: Vec<(&str, usize, &str)> = d
+        .iter()
+        .map(|x| (x.file.as_str(), x.line, x.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("bad_transitive_panic_helpers.rs", 8, "panicking"),
+            ("bad_transitive_panic_helpers.rs", 12, "panicking"),
+            // `excused` (line 17) carries a reasoned allow — suppressed
+            // AND counted as used, so unused-allow stays quiet about it;
+            // `orphan_helper` (line 21) is unreachable — not reported.
+        ],
+        "diagnostics: {d:#?}"
+    );
+    for diag in &d {
+        assert!(
+            diag.message
+                .contains("reachable from engine entry point `run_worksteal`"),
+            "{diag}"
+        );
+        assert!(
+            diag.message.contains("`step_round`") || diag.message.contains("`pick`"),
+            "message must name the containing function: {diag}"
+        );
+    }
+}
+
+#[test]
+fn unused_allow_fixture_exact_diagnostics() {
+    // Scope `panicking` onto the file too, so the allow on line 11 is
+    // genuinely used (it suppresses the unwrap on line 12) while the
+    // allows on lines 5/7/9 suppress nothing.
+    let cfg = Config::parse(
+        "[panicking]\npaths = [\"bad_unused_allow.rs\"]\n\
+         [unused-allow]\npaths = [\"bad_unused_allow.rs\"]\n",
+    )
+    .expect("config");
+    let name = "bad_unused_allow.rs";
+    let d = lint_files(&[(name.to_string(), fixture(name))], &cfg);
+    let got: Vec<(usize, &str)> = d.iter().map(|x| (x.line, x.rule)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (5, "unused-allow"), // suppresses nothing
+            (7, "unused-allow"), // names an unknown rule
+            (9, "unused-allow"), // reasonless — suppresses nothing
+            (10, "panicking"),   // ...so the unwrap after it still fires
+        ],
+        "diagnostics: {d:#?}"
+    );
+    assert!(d[0].message.contains("stale"), "{}", d[0]);
+    assert!(d[1].message.contains("unknown rule"), "{}", d[1]);
+    assert!(d[2].message.contains("no ` <reason>`"), "{}", d[2]);
 }
 
 #[test]

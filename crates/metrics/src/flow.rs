@@ -56,6 +56,7 @@ impl FlowStats {
             return None;
         }
         vals.sort_by(f64::total_cmp);
+        // lint: allow(float-determinism) sums a freshly sorted Vec in index order; the order is pinned by the sort above
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let pct = |q: f64| try_percentile_sorted(&vals, q).unwrap_or(f64::NAN);
         Some(FlowStats {
@@ -113,6 +114,7 @@ impl SampleStats {
             return None;
         }
         vals.sort_by(f64::total_cmp);
+        // lint: allow(float-determinism) sums a freshly sorted Vec in index order; the order is pinned by the sort above
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let pct = |q: f64| try_percentile_sorted(&vals, q).unwrap_or(f64::NAN);
         Some(SampleStats {

@@ -243,7 +243,8 @@ impl AggregatingRecorder {
     pub fn absorb_scalars(&mut self, report: &ObsReport) {
         for (label, v) in &report.counters {
             let (name, idx) = split_label(label);
-            *self.counters.entry((name, idx)).or_insert(0) += v;
+            let slot = self.counters.entry((name, idx)).or_insert(0);
+            *slot = slot.saturating_add(*v);
         }
         for (label, v) in &report.gauges {
             let (name, idx) = split_label(label);
@@ -285,7 +286,8 @@ impl Recorder for AggregatingRecorder {
     fn record(&mut self, event: Event<'_>) {
         match event {
             Event::Counter { name, index, delta } => {
-                *self.counters.entry((name.to_string(), index)).or_insert(0) += delta;
+                let slot = self.counters.entry((name.to_string(), index)).or_insert(0);
+                *slot = slot.saturating_add(delta);
             }
             Event::Gauge { name, index, value } => {
                 self.gauges.insert((name.to_string(), index), value);

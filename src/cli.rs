@@ -32,7 +32,11 @@
 //! incremental OPT lower bound (live competitive ratio), histogram
 //! percentiles, retirement counters, and peak RSS. `--policy` additionally
 //! accepts `fifo` (the streaming centralized engine); `--faults` is
-//! rejected (the streaming engines model a reliable machine).
+//! rejected (the streaming engines model a reliable machine). `--certify`
+//! (or `--certify on`) runs the `parflow-certify` exact-arithmetic P5
+//! check on the streamed summary — at speed 1 the reported max flow can
+//! never beat the incremental OPT lower bound — and appends the
+//! certificate line to the report.
 
 use crate::bridge::{instance_to_workload, BridgeConfig};
 use crate::core::{
@@ -479,6 +483,11 @@ fn exec_stream_cmd(flags: &Flags) -> Result<String, CliError> {
         ));
     }
     let cfg = config_from_flags(flags, m)?;
+    let certify = match flags.get("certify") {
+        None | Some("off" | "false" | "0") => false,
+        Some("on" | "true" | "1") => true,
+        Some(other) => return Err(CliError::BadFlag("certify".into(), other.into())),
+    };
     let jobs = spec.n_jobs as u64;
     let obs_path = flags.get("obs-json").map(str::to_string);
     let mut rec = obs_path.as_deref().map(JsonRecorder::new);
@@ -530,6 +539,22 @@ fn exec_stream_cmd(flags: &Flags) -> Result<String, CliError> {
         run.opt.combined_lower_bound().to_f64() * to_ms,
         run.competitive_ratio().unwrap_or(0.0),
     ));
+    if certify {
+        // Exact-arithmetic P5 check: at speed 1 the streamed max flow can
+        // never beat the OPT lower bound over the same arrivals. A
+        // violation is a hard error (broken engine or tracker), not a line
+        // in the report.
+        let report = parflow_certify::certify_stream_summary(
+            cfg.speed,
+            run.summary.jobs,
+            run.summary.max_flow,
+            run.opt.combined_lower_bound(),
+        );
+        if !report.is_clean() {
+            return Err(CliError::Io(report.render()));
+        }
+        out.push_str(&format!("{}\n", report.render()));
+    }
     out.push_str(&format!(
         "retirement: {} retired, {} live high-water, {} slab slots (reuse {:.1}%), {} cursor slots",
         run.summary.retire.jobs_retired,
@@ -707,16 +732,18 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         // delegate before Flags::parse.
         return parflow_bench::sweep::cli_main(rest).map_err(CliError::Io);
     }
-    // `--stream` reads naturally as a bare flag (`exec --stream --jobs
-    // 10000000`); Flags::parse wants `--key value` pairs, so a bare
-    // occurrence is normalized to `--stream on` before parsing.
+    // `--stream` and `--certify` read naturally as bare flags (`exec
+    // --stream --certify --jobs 10000000`); Flags::parse wants `--key
+    // value` pairs, so a bare occurrence is normalized to `... on`
+    // before parsing.
     let normalized: Vec<String>;
-    let rest = if cmd == "exec" && rest.iter().any(|a| a == "--stream") {
-        let mut v = Vec::with_capacity(rest.len() + 1);
+    let is_bare = |a: &str| a == "--stream" || a == "--certify";
+    let rest = if cmd == "exec" && rest.iter().any(|a| is_bare(a)) {
+        let mut v = Vec::with_capacity(rest.len() + 2);
         let mut it = rest.iter().peekable();
         while let Some(a) = it.next() {
             v.push(a.clone());
-            if a == "--stream" && it.peek().is_none_or(|n| n.starts_with("--")) {
+            if is_bare(a) && it.peek().is_none_or(|n| n.starts_with("--")) {
                 v.push("on".to_string());
             }
         }
@@ -1173,6 +1200,28 @@ mod tests {
         let e = run_cli(&argv("exec --stream maybe --jobs 100 --m 2 --qps 5000")).unwrap_err();
         assert!(
             matches!(e, CliError::BadFlag(ref k, _) if k == "stream"),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn exec_stream_certify_reports_certificate() {
+        // Bare `--certify` normalizes like `--stream`; the run must pass
+        // the P5 check and append the certificate line.
+        for flags in [
+            "exec --stream --certify --jobs 200 --m 4 --qps 5000",
+            "exec --stream on --certify on --jobs 200 --m 4 --qps 5000 --policy fifo",
+        ] {
+            let out = run_cli(&argv(flags)).unwrap();
+            assert!(out.contains("certify: clean"), "{flags}: {out}");
+        }
+        // An unparsable value is a flag error, not a silent no-op.
+        let e = run_cli(&argv(
+            "exec --stream --certify maybe --jobs 100 --m 2 --qps 5000",
+        ))
+        .unwrap_err();
+        assert!(
+            matches!(e, CliError::BadFlag(ref k, _) if k == "certify"),
             "{e:?}"
         );
     }

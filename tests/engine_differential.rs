@@ -72,6 +72,10 @@ fn assert_identical<P: JobPriority>(inst: &Instance, cfg: &SimConfig, policy: &P
         (Some(f), Some(s)) => {
             assert_eq!(f.spans, s.spans, "{name}: trace spans");
             assert_eq!(f.validate(inst), Ok(()), "{name}: trace validity");
+            // Independent machine-check of the paper invariants (P1–P5)
+            // on the agreed-upon schedule.
+            let report = parflow_certify::certify_run(inst, cfg, None, &fast, &f);
+            assert!(report.is_clean(), "{name}: {}", report.render());
         }
         _ => panic!("{name}: trace presence mismatch"),
     }
@@ -199,6 +203,9 @@ fn assert_batch_identical(inst: &Instance, specs: &[ReplicaSpec], lanes: usize) 
         assert_eq!(*trace, want_trace, "replica {i} (lanes={lanes}): trace");
         if let Some(t) = trace {
             assert_eq!(t.validate(inst), Ok(()), "replica {i}: trace validity");
+            let report =
+                parflow_certify::certify_run(inst, &spec.config, Some(spec.policy), result, t);
+            assert!(report.is_clean(), "replica {i}: {}", report.render());
         }
     }
 }

@@ -85,6 +85,12 @@ fn assert_ws_prefix_identical(
     // All n jobs retired, and the slab never held more than the prefix.
     assert_eq!(sum.retire.jobs_retired, n as u64, "prefix {n}: retired");
     assert!(sum.retire.live_jobs_high_water <= n as u64, "prefix {n}");
+    // The agreed-upon schedule must also satisfy the paper invariants
+    // (P1–P5), machine-checked by the independent certifier.
+    if let Some(t) = &batch_trace {
+        let report = parflow_certify::certify_run(&prefix, cfg, Some(policy), &batch, t);
+        assert!(report.is_clean(), "prefix {n}: {}", report.render());
+    }
 }
 
 /// Same contract for the centralized streaming engine under FIFO.
@@ -103,6 +109,10 @@ fn assert_fifo_prefix_identical(inst: &Instance, n: usize, cfg: &SimConfig) {
     outs.sort_by_key(|o| o.job);
     assert_eq!(outs, batch.outcomes, "prefix {n}: outcomes");
     assert_eq!(trace, batch_trace, "prefix {n}: trace");
+    if let Some(t) = &batch_trace {
+        let report = parflow_certify::certify_run(&prefix, cfg, None, &batch, t);
+        assert!(report.is_clean(), "prefix {n}: {}", report.render());
+    }
 }
 
 proptest! {
